@@ -1,0 +1,53 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Each binary registers google-benchmark cases (one iteration each — these
+// are cycle-accurate simulations, not timing micro-benchmarks; the simulated
+// metrics are attached as benchmark counters) and afterwards prints the
+// corresponding paper table with simulated vs. published values.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "src/analytics/report.hpp"
+#include "src/cluster/kernel_runner.hpp"
+
+namespace tcdm::bench {
+
+/// Collected per-experiment results, keyed by experiment label.
+inline std::map<std::string, KernelMetrics>& results() {
+  static std::map<std::string, KernelMetrics> r;
+  return r;
+}
+
+/// Run a kernel and record both google-benchmark counters and the collector.
+inline KernelMetrics run_and_record(benchmark::State& state, const std::string& key,
+                                    const ClusterConfig& cfg, Kernel& kernel,
+                                    RunnerOptions opts = {}) {
+  KernelMetrics m;
+  for (auto _ : state) {
+    m = run_kernel(cfg, kernel, opts);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(m.cycles);
+  state.counters["fpu_util_pct"] = 100.0 * m.fpu_util;
+  state.counters["bw_B_per_cyc_per_core"] = m.bw_per_core;
+  state.counters["gflops_ss"] = m.gflops_ss;
+  state.counters["verified"] = m.verified ? 1.0 : 0.0;
+  results()[key] = m;
+  return m;
+}
+
+/// Standard main: run all registered benchmarks, then the table printer.
+#define TCDM_BENCH_MAIN(print_fn)                                    \
+  int main(int argc, char** argv) {                                  \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    print_fn();                                                      \
+    return 0;                                                        \
+  }
+
+}  // namespace tcdm::bench

@@ -1,0 +1,50 @@
+// Bandwidth explorer: measure the hierarchical-average bandwidth of any
+// preset cluster under random vector-load traffic and compare it against
+// the paper's analytical model (Table I).
+//
+//   $ ./bandwidth_explorer [mp4spatz4|mp64spatz4|mp128spatz8] [gf]
+//   $ ./bandwidth_explorer mp64spatz4 4
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/analytics/bandwidth_model.hpp"
+#include "src/cluster/kernel_runner.hpp"
+#include "src/kernels/probes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcdm;
+  const std::string preset = argc > 1 ? argv[1] : "mp64spatz4";
+  const unsigned gf = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
+
+  ClusterConfig cfg = ClusterConfig::by_name(preset);
+  if (gf > 0) cfg = cfg.with_burst(gf);
+  std::printf("cluster %s: %u cores x %u FPUs, %u banks, %s\n", cfg.name.c_str(),
+              cfg.num_cores(), cfg.vlsu_ports, cfg.num_banks(),
+              cfg.burst_enabled ? "TCDM Burst enabled" : "baseline interconnect");
+
+  const struct {
+    const char* name;
+    RandomProbeKernel::Pattern pattern;
+  } patterns[] = {
+      {"uniform random (paper probe)", RandomProbeKernel::Pattern::kUniform},
+      {"remote-only", RandomProbeKernel::Pattern::kRemoteOnly},
+      {"local-only", RandomProbeKernel::Pattern::kLocalOnly},
+  };
+
+  RunnerOptions opts;
+  opts.verify = false;
+  opts.max_cycles = 5'000'000;
+  for (const auto& p : patterns) {
+    RandomProbeKernel probe(cfg.num_cores() >= 128 ? 64 : 128, p.pattern);
+    const KernelMetrics m = run_kernel(cfg, probe, opts);
+    std::printf("  %-30s %6.2f B/cyc/core  (%5.1f%% of peak)\n", p.name, m.bw_per_core,
+                100.0 * m.bw_per_core / cfg.vlsu_peak_bw());
+  }
+
+  const unsigned eff_gf = cfg.burst_enabled ? cfg.grouping_factor : 1;
+  std::printf("analytical model (eq. 5):       %6.2f B/cyc/core  (%5.1f%% of peak)\n",
+              model::hier_avg_bw(cfg.num_cores(), cfg.vlsu_ports, eff_gf),
+              100.0 * model::utilization(cfg.num_cores(), cfg.vlsu_ports, eff_gf));
+  return 0;
+}

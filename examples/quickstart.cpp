@@ -1,0 +1,47 @@
+// Quickstart: build the paper's 16-FPU cluster twice — baseline and with the
+// TCDM Burst extension (GF4) — run the same DotP workload on both, and watch
+// the interconnect serialization bottleneck (paper Fig. 1) disappear.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/cluster/kernel_runner.hpp"
+#include "src/kernels/dotp.hpp"
+
+int main() {
+  using namespace tcdm;
+
+  std::printf("TCDM Burst Access quickstart: DotP(4096) on MP4Spatz4 (16 FPUs)\n\n");
+
+  KernelMetrics base, burst;
+  {
+    // Baseline: remote vector accesses serialize one 32-bit word per cycle
+    // on the hierarchical interconnect ports.
+    ClusterConfig cfg = ClusterConfig::mp4spatz4();
+    DotpKernel dotp(4096);
+    base = run_kernel(cfg, dotp);
+  }
+  {
+    // TCDM Burst, GF4: the Burst Sender coalesces each K-word beat into one
+    // burst request; Burst Managers split it across SPM banks and merge the
+    // responses into 4-word beats on the widened response channel.
+    ClusterConfig cfg = ClusterConfig::mp4spatz4().with_burst(4);
+    DotpKernel dotp(4096);
+    burst = run_kernel(cfg, dotp);
+  }
+
+  std::printf("%-28s %12s %12s\n", "", "baseline", "tcdm-burst");
+  std::printf("%-28s %12lu %12lu\n", "cycles", static_cast<unsigned long>(base.cycles),
+              static_cast<unsigned long>(burst.cycles));
+  std::printf("%-28s %11.2f%% %11.2f%%\n", "FPU utilization", 100.0 * base.fpu_util,
+              100.0 * burst.fpu_util);
+  std::printf("%-28s %12.2f %12.2f\n", "bandwidth [B/cycle/core]", base.bw_per_core,
+              burst.bw_per_core);
+  std::printf("%-28s %12.2f %12.2f\n", "performance [GFLOPS @ss]", base.gflops_ss,
+              burst.gflops_ss);
+  std::printf("%-28s %12s %12s\n", "result verified",
+              base.verified ? "yes" : "NO", burst.verified ? "yes" : "NO");
+  std::printf("\nSpeedup: %.2fx (paper reports +106%% = 2.06x for this kernel)\n",
+              static_cast<double>(base.cycles) / static_cast<double>(burst.cycles));
+  return base.verified && burst.verified ? 0 : 1;
+}

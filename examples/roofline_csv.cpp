@@ -1,0 +1,57 @@
+// Emit a roofline CSV (Fig. 3 style) for a chosen cluster configuration:
+// the ideal and measured bandwidth roofs plus the three paper kernels as
+// sample points. Pipe the output into your favourite plotting tool.
+//
+//   $ ./roofline_csv mp4spatz4 4 > roofline.csv
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/analytics/roofline.hpp"
+#include "src/cluster/kernel_runner.hpp"
+#include "src/kernels/dotp.hpp"
+#include "src/kernels/fft.hpp"
+#include "src/kernels/matmul.hpp"
+#include "src/kernels/probes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcdm;
+  const std::string preset = argc > 1 ? argv[1] : "mp4spatz4";
+  const unsigned gf = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
+  ClusterConfig cfg = ClusterConfig::by_name(preset);
+  if (gf > 0) cfg = cfg.with_burst(gf);
+
+  RunnerOptions opts;
+  opts.max_cycles = 50'000'000;
+
+  // Dashed line: hierarchical average bandwidth from the random probe.
+  RandomProbeKernel probe(cfg.num_cores() >= 128 ? 64 : 128);
+  RunnerOptions popts = opts;
+  popts.verify = false;
+  const KernelMetrics pm = run_kernel(cfg, probe, popts);
+  const Roofline rl = make_roofline(cfg, pm.bw_bytes_per_cycle);
+
+  std::vector<RooflineSample> samples;
+  const auto add = [&](Kernel&& k) {
+    const KernelMetrics m = run_kernel(cfg, k, opts);
+    samples.push_back({m.kernel + "-" + m.size, m.arithmetic_intensity, m.gflops_ss});
+  };
+  if (preset == "mp4spatz4") {
+    add(DotpKernel(4096));
+    add(FftKernel(1, 512));
+    add(MatmulKernel(16, 4));
+    add(MatmulKernel(64, 8));
+  } else if (preset == "mp64spatz4") {
+    add(DotpKernel(65536));
+    add(FftKernel(4, 2048));
+    add(MatmulKernel(64, 4));
+    add(MatmulKernel(256, 8));
+  } else {
+    add(DotpKernel(131072));
+    add(FftKernel(8, 4096));
+    add(MatmulKernel(128, 4));
+    add(MatmulKernel(256, 8));
+  }
+  std::fputs(roofline_csv(rl, samples).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,257 @@
+// tcdm_sim: command-line driver for the simulator — run any built-in kernel
+// on any cluster configuration and print the paper's metrics. The kind of
+// one-shot experiment a downstream user reaches for first.
+//
+//   $ ./tcdm_sim --config mp64spatz4 --gf 4 --kernel dotp --size 65536
+//   $ ./tcdm_sim --config mp4spatz4 --kernel matmul --size 64:4
+//   $ ./tcdm_sim --config mp4spatz4 --gf 4 --strided-bursts \
+//         --kernel strided_copy --size 2048:2 --timeline /tmp/bw.csv
+//   $ ./tcdm_sim --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analytics/timeline.hpp"
+#include "src/cluster/kernel_runner.hpp"
+#include "src/kernels/axpy.hpp"
+#include "src/kernels/conv2d.hpp"
+#include "src/kernels/dotp.hpp"
+#include "src/kernels/fft.hpp"
+#include "src/kernels/gemv.hpp"
+#include "src/kernels/matmul.hpp"
+#include "src/kernels/maxpool.hpp"
+#include "src/kernels/probes.hpp"
+#include "src/kernels/relu.hpp"
+#include "src/kernels/stencil.hpp"
+#include "src/kernels/trace_replay.hpp"
+#include "src/kernels/transpose.hpp"
+
+namespace {
+
+using namespace tcdm;
+
+void usage() {
+  std::puts(
+      "tcdm_sim — run a kernel on a simulated MemPool-Spatz cluster\n"
+      "\n"
+      "options:\n"
+      "  --config NAME       mp4spatz4 | mp64spatz4 | mp128spatz8 (default mp4spatz4)\n"
+      "  --gf N              enable TCDM Burst with grouping factor N\n"
+      "  --strided-bursts    enable the strided-burst extension (needs --gf)\n"
+      "  --store-bursts N    enable store bursts, N-word request channel (needs --gf)\n"
+      "  --kernel NAME       see --list (default dotp)\n"
+      "  --size SPEC         colon-separated dims, kernel-specific (see --list)\n"
+      "  --max-cycles N      watchdog budget (default 50000000)\n"
+      "  --timeline FILE     record a 50-cycle-interval bandwidth CSV\n"
+      "  --stats FILE        dump every simulator counter as JSON\n"
+      "  --trace-file FILE   replay a memory trace (one 'hart R|W addr len'\n"
+      "                      per line) instead of a computed kernel\n"
+      "  --no-verify         skip golden-model verification\n"
+      "  --list              print kernels and size specs, then exit");
+}
+
+void list_kernels() {
+  std::puts(
+      "kernel        size spec          example        notes\n"
+      "dotp          n                  65536          AI 0.25 FLOP/B\n"
+      "axpy          n                  4096           AI 0.17 FLOP/B\n"
+      "gemv          m:n[:rowblock]     256:512:4      AI ~0.4 FLOP/B\n"
+      "matmul        n[:rowblock]       64:4           AI grows with n\n"
+      "fft           k:n                4:2048         k instances of n points\n"
+      "conv2d        h:w                130:130        3x3 valid convolution\n"
+      "jacobi2d      h:w                130:130        5-point stencil sweep\n"
+      "relu          n                  4096           AI 0.125 FLOP/B\n"
+      "maxpool2x2    h:w                32:64          stride-2 vlse32 loads\n"
+      "transpose     n                  128            pure data movement\n"
+      "memcpy        n                  16384          unit loads + stores\n"
+      "strided_copy  n:stride           8192:2         vlse32 gather\n"
+      "probe         iters              128            random-address loads");
+}
+
+std::vector<unsigned> parse_dims(const std::string& spec) {
+  std::vector<unsigned> dims;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    const std::string part =
+        spec.substr(pos, colon == std::string::npos ? std::string::npos : colon - pos);
+    if (!part.empty()) dims.push_back(static_cast<unsigned>(std::stoul(part)));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  return dims;
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    const std::vector<unsigned>& d) {
+  const auto dim = [&](std::size_t i, unsigned dflt) {
+    return i < d.size() ? d[i] : dflt;
+  };
+  if (name == "dotp") return std::make_unique<DotpKernel>(dim(0, 4096));
+  if (name == "axpy") return std::make_unique<AxpyKernel>(dim(0, 4096));
+  if (name == "gemv") {
+    return std::make_unique<GemvKernel>(dim(0, 64), dim(1, 256), dim(2, 4));
+  }
+  if (name == "matmul") return std::make_unique<MatmulKernel>(dim(0, 64), dim(1, 4));
+  if (name == "fft") return std::make_unique<FftKernel>(dim(0, 1), dim(1, 512));
+  if (name == "conv2d") return std::make_unique<Conv2dKernel>(dim(0, 34), dim(1, 66));
+  if (name == "jacobi2d") {
+    return std::make_unique<Jacobi2dKernel>(dim(0, 34), dim(1, 66));
+  }
+  if (name == "relu") return std::make_unique<ReluKernel>(dim(0, 4096));
+  if (name == "maxpool2x2") {
+    return std::make_unique<MaxPoolKernel>(dim(0, 32), dim(1, 64));
+  }
+  if (name == "transpose") return std::make_unique<TransposeKernel>(dim(0, 64));
+  if (name == "memcpy") return std::make_unique<MemcpyKernel>(dim(0, 4096));
+  if (name == "strided_copy") {
+    return std::make_unique<StridedCopyKernel>(dim(0, 2048), dim(1, 2));
+  }
+  if (name == "probe") return std::make_unique<RandomProbeKernel>(dim(0, 128));
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config = "mp4spatz4";
+  std::string kernel_name = "dotp";
+  std::string size_spec;
+  std::string timeline_path;
+  std::string stats_path;
+  std::string trace_path;
+  unsigned gf = 0;
+  unsigned store_req_gf = 0;
+  bool strided = false;
+  bool verify = true;
+  Cycle max_cycles = 50'000'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--list") {
+      list_kernels();
+      return 0;
+    } else if (arg == "--config") {
+      config = next();
+    } else if (arg == "--gf") {
+      gf = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--strided-bursts") {
+      strided = true;
+    } else if (arg == "--store-bursts") {
+      store_req_gf = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--kernel") {
+      kernel_name = next();
+    } else if (arg == "--size") {
+      size_spec = next();
+    } else if (arg == "--max-cycles") {
+      max_cycles = std::stoull(next());
+    } else if (arg == "--timeline") {
+      timeline_path = next();
+    } else if (arg == "--stats") {
+      stats_path = next();
+    } else if (arg == "--trace-file") {
+      trace_path = next();
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    ClusterConfig cfg = ClusterConfig::by_name(config);
+    if (gf > 0) cfg = cfg.with_burst(gf);
+    if (strided) cfg = cfg.with_strided_bursts();
+    if (store_req_gf > 0) cfg = cfg.with_store_bursts(store_req_gf);
+    cfg.validate();
+
+    std::unique_ptr<Kernel> kernel;
+    if (!trace_path.empty()) {
+      std::ifstream trace_in(trace_path);
+      if (!trace_in) {
+        std::fprintf(stderr, "cannot open trace file: %s\n", trace_path.c_str());
+        return 2;
+      }
+      kernel = std::make_unique<TraceReplayKernel>(read_trace(trace_in));
+    } else {
+      kernel = make_kernel(kernel_name, parse_dims(size_spec));
+    }
+    if (kernel == nullptr) {
+      std::fprintf(stderr, "unknown kernel: %s (try --list)\n", kernel_name.c_str());
+      return 2;
+    }
+
+    KernelMetrics m;
+    if (timeline_path.empty() && stats_path.empty()) {
+      RunnerOptions opts;
+      opts.verify = verify;
+      opts.max_cycles = max_cycles;
+      m = run_kernel(cfg, *kernel, opts);
+    } else {
+      Cluster cluster(cfg);
+      kernel->setup(cluster);
+      const TimelineResult t = record_timeline(cluster, 50, max_cycles);
+      if (!timeline_path.empty()) {
+        std::ofstream csv(timeline_path);
+        write_timeline_csv(csv, t);
+        std::printf("timeline: %zu samples -> %s\n", t.samples.size(),
+                    timeline_path.c_str());
+      }
+      if (!stats_path.empty()) {
+        std::ofstream json(stats_path);
+        json << cluster.stats().to_json();
+        std::printf("stats: -> %s\n", stats_path.c_str());
+      }
+      // Derive the metrics from the finished run (the runner would re-setup).
+      m.kernel = kernel->name();
+      m.size = kernel->size_desc();
+      m.cycles = t.total_cycles;
+      m.timed_out = !t.all_halted;
+      m.flops = cluster.total_flops();
+      m.bytes = kernel->traffic_bytes(cluster);
+      if (m.cycles > 0) {
+        m.flops_per_cycle = m.flops / static_cast<double>(m.cycles);
+        m.fpu_util = m.flops_per_cycle / cfg.peak_flops_per_cycle();
+        m.bw_per_core = m.bytes / static_cast<double>(m.cycles) / cfg.num_cores();
+        m.gflops_ss = m.flops_per_cycle * cfg.freq_ss_mhz / 1000.0;
+        m.gflops_tt = m.flops_per_cycle * cfg.freq_tt_mhz / 1000.0;
+      }
+      if (m.bytes > 0) m.arithmetic_intensity = m.flops / m.bytes;
+      m.verified = verify && !m.timed_out && kernel->verify(cluster);
+    }
+
+    std::printf("config                    %s (%u FPUs)\n", cfg.name.c_str(),
+                cfg.num_fpus());
+    std::printf("kernel                    %s %s\n", m.kernel.c_str(), m.size.c_str());
+    std::printf("cycles                    %llu%s\n",
+                static_cast<unsigned long long>(m.cycles),
+                m.timed_out ? "  (TIMED OUT)" : "");
+    std::printf("arithmetic intensity      %.3f FLOP/B\n", m.arithmetic_intensity);
+    std::printf("FPU utilization           %.2f%%\n", 100.0 * m.fpu_util);
+    std::printf("bandwidth per core        %.2f B/cycle (peak %.0f)\n", m.bw_per_core,
+                cfg.vlsu_peak_bw());
+    std::printf("performance               %.2f GFLOPS @%.0f MHz ss / %.2f @tt\n",
+                m.gflops_ss, cfg.freq_ss_mhz, m.gflops_tt);
+    std::printf("verified                  %s\n",
+                verify ? (m.verified ? "yes" : "NO") : "skipped");
+    return (!verify || m.verified) && !m.timed_out ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

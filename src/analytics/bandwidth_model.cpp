@@ -1,0 +1,53 @@
+#include "src/analytics/bandwidth_model.hpp"
+
+#include <algorithm>
+
+namespace tcdm::model {
+
+double vlsu_peak_bw(unsigned k) { return 4.0 * k; }
+
+double local_tile_bw(unsigned k) { return vlsu_peak_bw(k); }
+
+double remote_hier_bw(unsigned k, unsigned gf) {
+  return std::min(4.0 * gf, 4.0 * k);
+}
+
+double p_local(unsigned npe) { return 1.0 / npe; }
+
+double hier_avg_bw(unsigned npe, unsigned k, unsigned gf) {
+  const double pl = p_local(npe);
+  return pl * local_tile_bw(k) + (1.0 - pl) * remote_hier_bw(k, gf);
+}
+
+double utilization(unsigned npe, unsigned k, unsigned gf) {
+  return hier_avg_bw(npe, k, gf) / vlsu_peak_bw(k);
+}
+
+double improvement(unsigned npe, unsigned k, unsigned gf) {
+  return hier_avg_bw(npe, k, gf) / hier_avg_bw(npe, k, 1) - 1.0;
+}
+
+TableOneColumn table1_column(const ClusterConfig& cfg) {
+  TableOneColumn c;
+  c.config = cfg.name;
+  c.npe = cfg.num_cores();
+  c.k = cfg.vlsu_ports;
+  c.peak = vlsu_peak_bw(c.k);
+  c.baseline_bw = hier_avg_bw(c.npe, c.k, 1);
+  c.baseline_util = utilization(c.npe, c.k, 1);
+  c.gf2_bw = hier_avg_bw(c.npe, c.k, 2);
+  c.gf2_util = utilization(c.npe, c.k, 2);
+  c.gf2_improvement = improvement(c.npe, c.k, 2);
+  c.gf4_bw = hier_avg_bw(c.npe, c.k, 4);
+  c.gf4_util = utilization(c.npe, c.k, 4);
+  c.gf4_improvement = improvement(c.npe, c.k, 4);
+  return c;
+}
+
+std::vector<TableOneColumn> table1_all() {
+  return {table1_column(ClusterConfig::mp4spatz4()),
+          table1_column(ClusterConfig::mp64spatz4()),
+          table1_column(ClusterConfig::mp128spatz8())};
+}
+
+}  // namespace tcdm::model

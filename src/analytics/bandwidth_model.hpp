@@ -1,0 +1,57 @@
+// Analytical bandwidth model of paper §II-B (equations 1-5) — the closed
+// forms behind Table I. All bandwidths are per-VLSU (per core) in
+// bytes/cycle, as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+
+namespace tcdm::model {
+
+/// Eq. (1): theoretical VLSU peak, K ports x 4 B/cycle.
+[[nodiscard]] double vlsu_peak_bw(unsigned k);
+
+/// Eq. (2): local-tile accesses run at full VLSU width.
+[[nodiscard]] double local_tile_bw(unsigned k);
+
+/// Eq. (3) generalized: remote-hierarchy accesses serialize on the narrow
+/// channel; with TCDM Burst and grouping factor GF the response channel
+/// retires GF words/cycle, capped by the VLSU width. GF=1 is the baseline.
+[[nodiscard]] double remote_hier_bw(unsigned k, unsigned gf);
+
+/// Eq. (4): probability a random access is local-tile.
+[[nodiscard]] double p_local(unsigned npe);
+
+/// Eq. (5): expected bandwidth under uniformly random destinations.
+[[nodiscard]] double hier_avg_bw(unsigned npe, unsigned k, unsigned gf);
+
+/// hier_avg / peak.
+[[nodiscard]] double utilization(unsigned npe, unsigned k, unsigned gf);
+
+/// Relative improvement of GF over the baseline (gf=1), e.g. 0.9438 = +94.38%.
+[[nodiscard]] double improvement(unsigned npe, unsigned k, unsigned gf);
+
+/// One column of Table I for a given configuration.
+struct TableOneColumn {
+  std::string config;
+  unsigned npe = 0;
+  unsigned k = 0;
+  double peak = 0.0;
+  double baseline_bw = 0.0;
+  double baseline_util = 0.0;
+  double gf2_bw = 0.0;
+  double gf2_util = 0.0;
+  double gf2_improvement = 0.0;
+  double gf4_bw = 0.0;
+  double gf4_util = 0.0;
+  double gf4_improvement = 0.0;
+};
+
+[[nodiscard]] TableOneColumn table1_column(const ClusterConfig& cfg);
+
+/// The paper's three testbed columns.
+[[nodiscard]] std::vector<TableOneColumn> table1_all();
+
+}  // namespace tcdm::model

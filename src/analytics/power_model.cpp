@@ -1,0 +1,70 @@
+#include "src/analytics/power_model.hpp"
+
+#include "src/analytics/area_model.hpp"
+
+namespace tcdm {
+
+namespace {
+// Per-event dynamic energies in pJ, GF12 nominal corner (0.80 V / 25 C).
+// Calibrated once against Table II's MP64Spatz4 power column (see header and
+// EXPERIMENTS.md); held fixed across all configurations and kernels.
+constexpr double kFlopPj = 1.6;         // FPU datapath, per FLOP
+constexpr double kVrfWordPj = 0.5;      // per VRF word read/written
+constexpr double kVlsuWordPj = 1.0;     // port + staging + ROB, per word
+constexpr double kSnitchInstrPj = 2.0;  // fetch/decode/ALU, per instruction
+constexpr double kBankReadPj = 3.5;     // 4 KiB SRAM read
+constexpr double kBankWritePj = 4.0;
+constexpr double kLocalXbarPj = 0.8;    // tile crossbar traversal, per word
+constexpr double kIcnHopWordPj = 0.6;   // per word per pipeline hop
+constexpr double kBmBeatPj = 1.0;       // merge + wide mux, per beat
+constexpr double kBurstReqPj = 0.8;     // burst coalescing, per burst
+// Leakage + clock tree, proportional to modeled logic area.
+constexpr double kStaticMwPerMge = 5.0;
+}  // namespace
+
+PowerBreakdown estimate_power(const Cluster& cluster, Cycle cycles, double freq_mhz) {
+  const StatsRegistry& st = cluster.stats();
+  const ClusterConfig& cfg = cluster.config();
+
+  PowerBreakdown p;
+  p.config = cfg.name;
+  if (cycles == 0) return p;
+  const double seconds = static_cast<double>(cycles) / (freq_mhz * 1e6);
+  const auto to_watts = [seconds](double pico_joules) {
+    return pico_joules * 1e-12 / seconds;
+  };
+
+  const double flops = st.sum_suffix(".vfpu.flops") + st.sum_suffix(".scalar_flops");
+  const double vec_words =
+      st.sum_suffix(".vlsu.words_loaded") + st.sum_suffix(".vlsu.words_stored");
+  const double scalar_words =
+      st.sum_suffix(".snitch.load_words") + st.sum_suffix(".snitch.store_words");
+  const double instrs = st.sum_suffix(".snitch.instrs");
+  const double bank_reads = st.sum_suffix(".reads");
+  const double bank_writes = st.sum_suffix(".writes");
+  const double hop_words =
+      st.value("network.req_hop_words") + st.value("network.rsp_hop_words");
+  const double bm_beats = st.sum_suffix(".bm.beats_merged");
+  const double bursts = st.sum_suffix(".sender.bursts_sent");
+
+  // ~3 VRF operand/result accesses per FMA (2 FLOPs) plus load/store traffic.
+  const double vrf_words = 1.5 * flops + vec_words;
+
+  p.fpu_w = to_watts(kFlopPj * flops);
+  p.vrf_w = to_watts(kVrfWordPj * vrf_words);
+  p.vlsu_w = to_watts(kVlsuWordPj * vec_words);
+  p.snitch_w = to_watts(kSnitchInstrPj * instrs + kVlsuWordPj * scalar_words);
+  p.banks_w = to_watts(kBankReadPj * bank_reads + kBankWritePj * bank_writes +
+                       kLocalXbarPj * (bank_reads + bank_writes));
+  p.icn_w = to_watts(kIcnHopWordPj * hop_words);
+  p.burst_w = to_watts(kBmBeatPj * bm_beats + kBurstReqPj * bursts);
+  p.static_w = estimate_area(cfg).total() / 1e6 * kStaticMwPerMge * 1e-3;
+  return p;
+}
+
+double energy_efficiency(double gflops, const PowerBreakdown& power) {
+  const double w = power.total();
+  return w > 0.0 ? gflops / w : 0.0;
+}
+
+}  // namespace tcdm

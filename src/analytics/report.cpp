@@ -1,0 +1,73 @@
+#include "src/analytics/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tcdm {
+
+TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::add_separator() { rows_.emplace_back(); }
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_sep = [&]() {
+    os << '+';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      os << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  print_sep();
+}
+
+std::string TableWriter::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string pct(double ratio, int precision) { return fmt(ratio * 100.0, precision) + "%"; }
+
+std::string delta(double ratio, int precision) {
+  return (ratio >= 0 ? "+" : "") + fmt(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace tcdm

@@ -1,0 +1,41 @@
+#include "src/analytics/roofline.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tcdm {
+
+Roofline make_roofline(const ClusterConfig& cfg, double measured_bw_bytes_per_cycle) {
+  Roofline rl;
+  rl.config = cfg.name;
+  const double f_ghz = cfg.freq_ss_mhz / 1000.0;
+  rl.peak_gflops = cfg.peak_flops_per_cycle() * f_ghz;
+  rl.ideal_bw_gbps = cfg.cluster_peak_bw() * f_ghz;
+  rl.measured_bw_gbps = measured_bw_bytes_per_cycle * f_ghz;
+  return rl;
+}
+
+std::string roofline_csv(const Roofline& rl, const std::vector<RooflineSample>& samples) {
+  std::ostringstream os;
+  os << "# roofline for " << rl.config << "\n";
+  os << "# peak_gflops=" << rl.peak_gflops << " ideal_bw_gbps=" << rl.ideal_bw_gbps
+     << " measured_bw_gbps=" << rl.measured_bw_gbps << "\n";
+  os << "series,ai,gflops\n";
+  // Log-spaced AI sweep from 1/16 to 64 FLOP/B.
+  for (double e = -4.0; e <= 6.0; e += 0.25) {
+    const double ai = std::pow(2.0, e);
+    os << "ideal," << ai << "," << rl.attainable_ideal(ai) << "\n";
+  }
+  if (rl.measured_bw_gbps > 0.0) {
+    for (double e = -4.0; e <= 6.0; e += 0.25) {
+      const double ai = std::pow(2.0, e);
+      os << "measured," << ai << "," << rl.attainable_measured(ai) << "\n";
+    }
+  }
+  for (const RooflineSample& s : samples) {
+    os << s.label << "," << s.ai << "," << s.gflops << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tcdm

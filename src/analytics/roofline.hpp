@@ -1,0 +1,52 @@
+// Roofline model (paper Fig. 3): attainable performance vs arithmetic
+// intensity for one cluster configuration, with the ideal no-contention
+// bandwidth roof, a measured-bandwidth roof (the dashed hierarchical-average
+// line) and the FPU peak.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+
+namespace tcdm {
+
+struct Roofline {
+  std::string config;
+  double peak_gflops = 0.0;      // compute roof
+  double ideal_bw_gbps = 0.0;    // no-contention cores<->memory bandwidth
+  double measured_bw_gbps = 0.0; // hierarchical average (simulated), 0 if unset
+
+  /// Attainable GFLOPS at arithmetic intensity `ai` under a bandwidth roof.
+  [[nodiscard]] double attainable(double ai, double bw_gbps) const {
+    const double mem_bound = ai * bw_gbps;
+    return mem_bound < peak_gflops ? mem_bound : peak_gflops;
+  }
+  [[nodiscard]] double attainable_ideal(double ai) const {
+    return attainable(ai, ideal_bw_gbps);
+  }
+  [[nodiscard]] double attainable_measured(double ai) const {
+    return attainable(ai, measured_bw_gbps);
+  }
+  /// AI where a bandwidth roof meets the compute roof.
+  [[nodiscard]] double knee(double bw_gbps) const { return peak_gflops / bw_gbps; }
+};
+
+/// Build the roofline for a configuration at its ss-corner frequency.
+/// `measured_bw_bytes_per_cycle` is the cluster-aggregate bandwidth from the
+/// random-access probe (0 to leave the measured roof unset).
+[[nodiscard]] Roofline make_roofline(const ClusterConfig& cfg,
+                                     double measured_bw_bytes_per_cycle = 0.0);
+
+/// A kernel's position on the plot.
+struct RooflineSample {
+  std::string label;
+  double ai = 0.0;
+  double gflops = 0.0;
+};
+
+/// CSV rendering of the roofline curves plus kernel samples (for plotting).
+[[nodiscard]] std::string roofline_csv(const Roofline& rl,
+                                       const std::vector<RooflineSample>& samples);
+
+}  // namespace tcdm

@@ -1,0 +1,243 @@
+#include "src/burst/burst_sender.hpp"
+
+#include <cassert>
+
+namespace tcdm {
+
+BurstSender::BurstSender(const BurstSenderConfig& cfg, unsigned num_ports)
+    : cfg_(cfg), num_ports_(num_ports), table_(cfg.table_size) {
+  assert(num_ports_ >= 1);
+  assert(cfg_.max_burst_len <= kMaxBurstLen);
+  // can_accept_beat() is checked before staging a beat of up to K words.
+  capacity_items_ =
+      static_cast<std::size_t>(cfg_.staging_beats > 0 ? cfg_.staging_beats - 1 : 0) *
+      num_ports_;
+  free_ids_.reserve(cfg_.table_size);
+  for (unsigned i = 0; i < cfg_.table_size; ++i) {
+    free_ids_.push_back(cfg_.table_size - 1 - i);
+  }
+}
+
+void BurstSender::attach_stats(StatsRegistry& reg, const std::string& prefix) {
+  bursts_sent_ = reg.counter(prefix + ".bursts_sent");
+  burst_words_ = reg.counter(prefix + ".burst_words");
+  strided_bursts_sent_ = reg.counter(prefix + ".strided_bursts_sent");
+  store_bursts_sent_ = reg.counter(prefix + ".store_bursts_sent");
+  narrow_sent_ = reg.counter(prefix + ".narrow_remote_words");
+  local_words_ = reg.counter(prefix + ".local_words");
+  coalesce_splits_ = reg.counter(prefix + ".tile_boundary_splits");
+}
+
+std::optional<std::uint32_t> BurstSender::alloc_burst() {
+  if (free_ids_.empty()) return std::nullopt;
+  const std::uint32_t id = free_ids_.back();
+  free_ids_.pop_back();
+  ++live_bursts_;
+  return id;
+}
+
+bool BurstSender::try_extend_tail(const WordRequest* run, unsigned n, Addr base, TileId dst,
+                                  unsigned stride, bool write, const AddressMap& map) {
+  if (staging_.empty()) return false;
+  PendingItem& tail = staging_.back();
+  if (!tail.is_burst || tail.dst_tile != dst) return false;
+  if (tail.stride != stride || tail.write != write) return false;
+  if (tail.base + static_cast<Addr>(tail.len) * stride * kWordBytes != base) return false;
+  if (tail.len + n > cfg_.max_burst_len) return false;
+  // The extended span's last element must still land inside the tile.
+  if (map.bank_in_tile(tail.base) + (tail.len + n - 1) * stride >= map.banks_per_tile()) {
+    return false;
+  }
+  if (write) {
+    for (unsigned i = 0; i < n; ++i) tail.wdata[tail.len + i] = run[i].wdata;
+  } else {
+    TableEntry& e = table_[tail.burst_id];
+    assert(e.valid);
+    for (unsigned i = 0; i < n; ++i) {
+      e.words[tail.len + i] = BurstWord{run[i].port, run[i].rob_slot};
+    }
+    e.len = static_cast<std::uint8_t>(tail.len + n);
+  }
+  tail.len = static_cast<std::uint8_t>(tail.len + n);
+  return true;
+}
+
+bool BurstSender::accept_beat(const BeatRequest& beat, const AddressMap& map,
+                              TileId home_tile) {
+  assert(can_accept_beat());
+  const auto push_narrow = [this](const WordRequest& w) {
+    PendingItem item;
+    item.is_burst = false;
+    item.word = w;
+    staging_.push_back(item);
+  };
+
+  // A 1-word-stride vlse32 is semantically a vle32; the extension detects
+  // it and rides the plain unit-stride burst path (the paper's baseline
+  // design keys on the VLE opcode only).
+  const bool unit_load = cfg_.enable_bursts && beat.unit_stride_load;
+  const bool strided_load = cfg_.enable_bursts && cfg_.enable_strided_bursts &&
+                            beat.strided_load && beat.stride_words >= 1 &&
+                            beat.stride_words < map.banks_per_tile();
+  const bool unit_store =
+      cfg_.enable_bursts && cfg_.enable_store_bursts && beat.unit_stride_store;
+  if (!unit_load && !strided_load && !unit_store) {
+    for (const WordRequest& w : beat.words) push_narrow(w);
+    return true;
+  }
+  const unsigned stride = strided_load ? beat.stride_words : 1;
+  const bool write = unit_store;
+
+  // Burst-eligible: the words are equidistant addresses in element order.
+  // Split into runs that stay within one tile (and one max-length burst).
+  std::size_t i = 0;
+  const std::size_t n = beat.words.size();
+  bool split_seen = false;
+  while (i < n) {
+    const Addr base = beat.words[i].addr;
+    const TileId dst = map.tile_of(base);
+    std::size_t run = 1;
+    while (i + run < n && run < cfg_.max_burst_len &&
+           map.bank_in_tile(base) + run * stride < map.banks_per_tile()) {
+      assert(beat.words[i + run].addr == base + run * stride * kWordBytes);
+      ++run;
+    }
+    if (i + run < n) split_seen = true;
+
+    if (dst == home_tile || run == 1) {
+      // Local runs use the full-width tile crossbar; single words stay narrow.
+      for (std::size_t j = 0; j < run; ++j) push_narrow(beat.words[i + j]);
+    } else if (try_extend_tail(&beat.words[i], static_cast<unsigned>(run), base, dst,
+                               stride, write, map)) {
+      // Coalesced into the still-staged previous burst (max_burst_len > K).
+    } else if (write) {
+      // Write bursts carry their payload and need no reorder table: the
+      // serving banks acknowledge each word out of band.
+      PendingItem item;
+      item.is_burst = true;
+      item.write = true;
+      item.base = base;
+      item.len = static_cast<std::uint8_t>(run);
+      item.stride = 1;
+      item.dst_tile = dst;
+      for (std::size_t j = 0; j < run; ++j) item.wdata[j] = beat.words[i + j].wdata;
+      staging_.push_back(item);
+    } else {
+      const auto id = alloc_burst();
+      if (!id.has_value()) {
+        // Table exhausted: degrade gracefully to narrow requests. Performance
+        // falls back to baseline behaviour; correctness is unaffected.
+        for (std::size_t j = 0; j < run; ++j) push_narrow(beat.words[i + j]);
+      } else {
+        TableEntry& e = table_[*id];
+        e.valid = true;
+        e.len = static_cast<std::uint8_t>(run);
+        e.resolved = 0;
+        for (std::size_t j = 0; j < run; ++j) {
+          e.words[j] = BurstWord{beat.words[i + j].port, beat.words[i + j].rob_slot};
+        }
+        PendingItem item;
+        item.is_burst = true;
+        item.base = base;
+        item.len = static_cast<std::uint8_t>(run);
+        item.stride = static_cast<std::uint8_t>(stride);
+        item.burst_id = *id;
+        item.dst_tile = dst;
+        staging_.push_back(item);
+      }
+    }
+    i += run;
+  }
+  if (split_seen) coalesce_splits_.inc();
+  return true;
+}
+
+void BurstSender::dispatch(Cycle now, TileServices& tile) {
+  const AddressMap& map = tile.map();
+  const TileId home = tile.tile_id();
+  HierNetwork& net = tile.net();
+  const Topology& topo = net.topology();
+
+  // Attempt every staged item once per cycle; items whose port or bank is
+  // busy stay for the next cycle. Later items may bypass blocked ones (the
+  // per-port ROBs make retirement order-independent; kernels never issue
+  // overlapping same-address accesses inside this small window).
+  for (auto it = staging_.begin(); it != staging_.end();) {
+    bool sent = false;
+    if (!it->is_burst) {
+      const WordRequest& w = it->word;
+      const TileId dst = map.tile_of(w.addr);
+      if (dst == home) {
+        BankReq br;
+        br.row = map.row_of(w.addr);
+        br.write = w.write;
+        br.wdata = w.wdata;
+        br.route.kind = RouteKind::kLocalVector;
+        br.route.port = w.port;
+        br.route.rob_slot = w.rob_slot;
+        br.route.src_tile = home;
+        if (tile.try_local_push(map.bank_in_tile(w.addr), br)) {
+          local_words_.inc();
+          sent = true;
+        }
+      } else {
+        const std::uint8_t cls = topo.class_of(home, dst);
+        if (net.can_send_req(home, cls, now)) {
+          TcdmReq req;
+          req.addr = w.addr;
+          req.len = 1;
+          req.write = w.write;
+          req.wdata = w.wdata;
+          req.src_tile = home;
+          req.tag.owner = ReqOwner::kVecNarrow;
+          req.tag.port = w.port;
+          req.tag.rob_slot = w.rob_slot;
+          net.send_req(home, dst, req, now);
+          narrow_sent_.inc();
+          sent = true;
+        }
+      }
+    } else {
+      const std::uint8_t cls = topo.class_of(home, it->dst_tile);
+      if (net.can_send_req(home, cls, now)) {
+        TcdmReq req;
+        req.addr = it->base;
+        req.len = it->len;
+        req.stride = it->stride;
+        req.write = it->write;
+        req.src_tile = home;
+        req.tag.owner = ReqOwner::kBurst;
+        req.tag.id = it->burst_id;
+        if (it->write) req.burst_wdata = it->wdata;
+        net.send_req(home, it->dst_tile, req, now);
+        bursts_sent_.inc();
+        burst_words_.inc(it->len);
+        if (it->stride > 1) strided_bursts_sent_.inc();
+        if (it->write) store_bursts_sent_.inc();
+        sent = true;
+      }
+    }
+    it = sent ? staging_.erase(it) : std::next(it);
+  }
+}
+
+BurstSender::BurstWord BurstSender::lookup(std::uint32_t id, unsigned word_offset) const {
+  const TableEntry& e = table_.at(id);
+  assert(e.valid && word_offset < e.len);
+  return e.words[word_offset];
+}
+
+void BurstSender::note_resolved(std::uint32_t id, unsigned n) {
+  TableEntry& e = table_.at(id);
+  assert(e.valid);
+  e.resolved = static_cast<std::uint8_t>(e.resolved + n);
+  assert(e.resolved <= e.len);
+  if (e.resolved == e.len) {
+    e.valid = false;
+    free_ids_.push_back(id);
+    assert(live_bursts_ > 0);
+    --live_bursts_;
+  }
+}
+
+}  // namespace tcdm

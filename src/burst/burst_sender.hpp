@@ -1,0 +1,151 @@
+// Burst Sender (paper §III-A): sits on the VLSU ports of a Spatz core.
+//
+// The VLSU hands it one "beat" per cycle — the K parallel element accesses
+// of a vector memory instruction, each with its pre-allocated ROB slot. The
+// sender decides how each element travels:
+//
+//  * local tile          -> straight into the local banks (full bandwidth);
+//  * remote, burst mode,
+//    unit-stride load    -> coalesced into a single burst request
+//                           (base, len<=K words, never crossing a tile) that
+//                           occupies the narrow request channel for ONE cycle
+//                           instead of len cycles;
+//  * everything else     -> narrow 32-bit requests that serialize one per
+//                           cycle at the master port (the baseline behaviour,
+//                           and the fallback for strided/indexed accesses and
+//                           stores, which the paper does not burst).
+//
+// The sender owns the burst table that maps a returning wide beat's
+// (burst_id, word_offset) back to (VLSU port, ROB slot).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/cluster/tile_services.hpp"
+#include "src/memory/mem_types.hpp"
+
+namespace tcdm {
+
+/// Longest burst any configuration can produce (= deepest banks-per-tile we
+/// support; bursts never cross tiles).
+inline constexpr unsigned kMaxBurstLen = kMaxBurstWords;
+
+struct BurstSenderConfig {
+  bool enable_bursts = false;
+  /// Extension (paper future work): coalesce constant-stride vector loads
+  /// into strided bursts (base, len, stride). Request-side win is identical
+  /// to unit-stride bursts; the response-side merge degrades gracefully as
+  /// the stride spreads elements over GF-bank segments.
+  bool enable_strided_bursts = false;
+  /// Extension (design-space ablation): coalesce unit-stride vector stores
+  /// into write bursts. The payload still crosses the narrow request channel
+  /// at req_grouping_factor words/cycle, which is why the paper leaves
+  /// stores narrow — this knob exists to quantify that choice.
+  bool enable_store_bursts = false;
+  unsigned max_burst_len = 4;   // usually K; capped by banks_per_tile
+  unsigned table_size = 64;     // outstanding bursts
+  unsigned staging_beats = 4;   // staging capacity in units of K-word beats
+};
+
+/// One element access prepared by the VLSU.
+struct WordRequest {
+  Addr addr = 0;
+  bool write = false;
+  Word wdata = 0;
+  std::uint8_t port = 0;       // VLSU port (== elem % K)
+  std::uint16_t rob_slot = 0;  // pre-allocated ROB slot (loads only)
+};
+
+/// A cycle's worth of element accesses from one vector memory instruction.
+struct BeatRequest {
+  std::vector<WordRequest> words;
+  bool unit_stride_load = false;   // burst-eligible pattern
+  bool strided_load = false;       // constant-stride load (strided-burst ext.)
+  bool unit_stride_store = false;  // consecutive store (store-burst ext.)
+  unsigned stride_words = 1;       // element spacing for strided_load
+};
+
+class BurstSender {
+ public:
+  BurstSender(const BurstSenderConfig& cfg, unsigned num_ports);
+
+  void attach_stats(StatsRegistry& reg, const std::string& prefix);
+
+  /// Room for one more beat? The VLSU checks this before address generation.
+  [[nodiscard]] bool can_accept_beat() const noexcept {
+    return staging_.size() <= capacity_items_;
+  }
+
+  /// Stage a beat: coalesce burst-eligible runs, enqueue the rest narrow.
+  /// Returns false only if the burst table is exhausted (beat not accepted).
+  [[nodiscard]] bool accept_beat(const BeatRequest& beat, const AddressMap& map,
+                                 TileId home_tile);
+
+  /// Drain staging into local banks and network master ports.
+  void dispatch(Cycle now, TileServices& tile);
+
+  // ---- response-side burst table resolution ----
+  struct BurstWord {
+    std::uint8_t port = 0;
+    std::uint16_t rob_slot = 0;
+  };
+  [[nodiscard]] BurstWord lookup(std::uint32_t id, unsigned word_offset) const;
+  /// Mark `n` words of burst `id` as retired; frees the table entry when the
+  /// whole burst has returned.
+  void note_resolved(std::uint32_t id, unsigned n);
+
+  [[nodiscard]] bool busy() const noexcept { return !staging_.empty() || live_bursts_ != 0; }
+  [[nodiscard]] bool staging_empty() const noexcept { return staging_.empty(); }
+
+ private:
+  struct PendingItem {
+    bool is_burst = false;
+    // narrow:
+    WordRequest word;
+    // burst:
+    Addr base = 0;
+    std::uint8_t len = 0;
+    std::uint8_t stride = 1;  // element spacing in words (strided-burst ext.)
+    bool write = false;       // write burst (store-burst ext.)
+    std::uint32_t burst_id = 0;
+    TileId dst_tile = 0;
+    std::array<Word, kMaxBurstLen> wdata{};  // write-burst payload
+  };
+
+  struct TableEntry {
+    bool valid = false;
+    std::uint8_t len = 0;
+    std::uint8_t resolved = 0;
+    std::array<BurstWord, kMaxBurstLen> words{};
+  };
+
+  [[nodiscard]] std::optional<std::uint32_t> alloc_burst();
+  /// Try to extend the most recent staged burst with a contiguous run of the
+  /// same kind (stride and read/write must match).
+  [[nodiscard]] bool try_extend_tail(const WordRequest* run, unsigned n, Addr base,
+                                     TileId dst, unsigned stride, bool write,
+                                     const AddressMap& map);
+
+  BurstSenderConfig cfg_;
+  unsigned num_ports_;
+  std::size_t capacity_items_;
+  std::deque<PendingItem> staging_;
+  std::vector<TableEntry> table_;
+  std::vector<std::uint32_t> free_ids_;
+  unsigned live_bursts_ = 0;
+  Counter bursts_sent_;
+  Counter burst_words_;
+  Counter strided_bursts_sent_;  // subset of bursts_sent_ with stride > 1
+  Counter store_bursts_sent_;    // subset of bursts_sent_ that are writes
+  Counter narrow_sent_;
+  Counter local_words_;
+  Counter coalesce_splits_;  // beats split at tile boundaries
+};
+
+}  // namespace tcdm

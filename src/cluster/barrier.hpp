@@ -1,0 +1,51 @@
+// Central hardware barrier, as used by MemPool's fork-join runtime. Cores
+// arrive once their memory traffic has drained; when the last core arrives
+// the release is broadcast after a configurable latency (defaults to the
+// topology's worst-case round-trip), and the global generation counter
+// advances. Cores wait for the generation they targeted.
+#pragma once
+
+#include <cassert>
+
+#include "src/common/types.hpp"
+
+namespace tcdm {
+
+class CentralBarrier {
+ public:
+  CentralBarrier(unsigned num_cores, unsigned release_latency)
+      : num_cores_(num_cores), release_latency_(release_latency) {}
+
+  /// A core arrives (at most once per generation; the Snitch enforces this).
+  void arrive(Cycle now) {
+    assert(arrived_ < num_cores_);
+    ++arrived_;
+    if (arrived_ == num_cores_) {
+      release_at_ = now + release_latency_;
+      release_pending_ = true;
+    }
+  }
+
+  /// Advance the barrier state; call once per cluster cycle.
+  void cycle(Cycle now) {
+    if (release_pending_ && now >= release_at_) {
+      release_pending_ = false;
+      arrived_ = 0;
+      ++generation_;
+    }
+  }
+
+  [[nodiscard]] unsigned generation() const noexcept { return generation_; }
+  [[nodiscard]] unsigned arrived() const noexcept { return arrived_; }
+  [[nodiscard]] unsigned num_cores() const noexcept { return num_cores_; }
+
+ private:
+  unsigned num_cores_;
+  unsigned release_latency_;
+  unsigned arrived_ = 0;
+  unsigned generation_ = 0;
+  bool release_pending_ = false;
+  Cycle release_at_ = 0;
+};
+
+}  // namespace tcdm

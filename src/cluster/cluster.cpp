@@ -1,0 +1,144 @@
+#include "src/cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tcdm {
+
+namespace {
+unsigned auto_barrier_latency(const ClusterConfig& cfg, const Topology& topo) {
+  if (cfg.barrier_release_latency != 0) return cfg.barrier_release_latency;
+  unsigned worst = 1;
+  for (unsigned cls = 0; cls < topo.num_classes(); ++cls) {
+    worst = std::max(worst, topo.round_trip(static_cast<std::uint8_t>(cls)));
+  }
+  return worst;
+}
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& cfg)
+    : cfg_(cfg),
+      topo_(cfg.topology()),
+      map_(cfg.address_map()),
+      barrier_(cfg.num_cores(), auto_barrier_latency(cfg, topo_)),
+      watchdog_(100'000) {
+  cfg_.validate();
+  NetworkConfig net_cfg = cfg_.net;
+  net_cfg.grouping_factor = cfg_.burst_enabled ? cfg_.grouping_factor : 1;
+  net_ = std::make_unique<HierNetwork>(topo_, net_cfg, stats_);
+  tiles_.reserve(cfg_.num_tiles);
+  for (TileId t = 0; t < cfg_.num_tiles; ++t) {
+    tiles_.push_back(std::make_unique<Tile>(cfg_, t, *net_, map_, barrier_, stats_));
+  }
+}
+
+void Cluster::load_program(Program program) {
+  programs_.clear();
+  programs_.push_back(std::move(program));
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    tiles_[t]->cc().load_program(&programs_.front(),
+                                 clock_.now() + t * cfg_.start_stagger_cycles);
+  }
+}
+
+void Cluster::load_programs(std::vector<Program> programs) {
+  if (programs.size() != tiles_.size()) {
+    throw std::invalid_argument("load_programs: need exactly one program per hart");
+  }
+  programs_ = std::move(programs);
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    tiles_[t]->cc().load_program(&programs_[t],
+                                 clock_.now() + t * cfg_.start_stagger_cycles);
+  }
+}
+
+void Cluster::write_word(Addr addr, Word value) {
+  if (!map_.valid(addr) || addr % kWordBytes != 0) {
+    throw std::out_of_range("write_word: bad TCDM address");
+  }
+  tiles_[map_.tile_of(addr)]->bank(map_.bank_in_tile(addr)).write_row(map_.row_of(addr), value);
+}
+
+Word Cluster::read_word(Addr addr) const {
+  if (!map_.valid(addr) || addr % kWordBytes != 0) {
+    throw std::out_of_range("read_word: bad TCDM address");
+  }
+  return tiles_[map_.tile_of(addr)]->bank(map_.bank_in_tile(addr)).read_row(map_.row_of(addr));
+}
+
+void Cluster::write_block(Addr addr, std::span<const Word> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    write_word(addr + static_cast<Addr>(i * kWordBytes), words[i]);
+  }
+}
+
+void Cluster::write_block_f32(Addr addr, std::span<const float> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    write_f32(addr + static_cast<Addr>(i * kWordBytes), values[i]);
+  }
+}
+
+std::vector<float> Cluster::read_block_f32(Addr addr, std::size_t count) const {
+  std::vector<float> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(read_f32(addr + static_cast<Addr>(i * kWordBytes)));
+  }
+  return out;
+}
+
+void Cluster::deliver_rsp(const TcdmResp& rsp, Cycle now) {
+  tiles_.at(rsp.dst_tile)->cc().deliver_remote(rsp, now);
+}
+
+bool Cluster::step() {
+  const Cycle now = clock_.now();
+  for (auto& tile : tiles_) tile->cycle_cores(now);
+  net_->cycle(now, *this);
+  for (auto& tile : tiles_) tile->cycle_memory(now);
+  barrier_.cycle(now);
+
+  double token = 0.0;
+  bool all_halted = true;
+  for (auto& tile : tiles_) {
+    token += tile->cc().progress_token();
+    all_halted = all_halted && tile->cc().halted();
+  }
+  if (token != last_progress_token_) {
+    last_progress_token_ = token;
+    watchdog_.note_progress(now);
+  }
+  if (!all_halted) watchdog_.check(now);
+
+  clock_.advance();
+  return all_halted;
+}
+
+RunOutcome Cluster::run(Cycle max_cycles) {
+  if (programs_.empty()) throw std::logic_error("run: no program loaded");
+  RunOutcome out;
+  const Cycle start = clock_.now();
+  while (clock_.now() - start < max_cycles) {
+    if (step()) {
+      out.all_halted = true;
+      break;
+    }
+  }
+  out.cycles = clock_.now() - start;
+  return out;
+}
+
+double Cluster::bytes_loaded() const {
+  return kWordBytes *
+         (stats_.sum_suffix(".vlsu.words_loaded") + stats_.sum_suffix(".snitch.load_words"));
+}
+
+double Cluster::bytes_stored() const {
+  return kWordBytes *
+         (stats_.sum_suffix(".vlsu.words_stored") + stats_.sum_suffix(".snitch.store_words"));
+}
+
+double Cluster::bytes_accessed() const { return bytes_loaded() + bytes_stored(); }
+
+}  // namespace tcdm

@@ -1,0 +1,98 @@
+// Cluster: the complete simulated MemPool-Spatz instance — tiles (cores +
+// banks + burst managers), the hierarchical network, the central barrier and
+// the cycle loop. This is the main entry point of the library's public API:
+//
+//   ClusterConfig cfg = ClusterConfig::mp4spatz4().with_burst(4);
+//   Cluster cluster(cfg);
+//   cluster.load_program(program);           // same binary on every hart
+//   cluster.write_f32(addr, 1.5f);           // preload data (host backdoor)
+//   RunOutcome out = cluster.run();
+//   double bw = cluster.bytes_accessed() / double(out.cycles);
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/cluster/barrier.hpp"
+#include "src/cluster/cluster_config.hpp"
+#include "src/cluster/tile.hpp"
+#include "src/common/sim_time.hpp"
+#include "src/common/stats.hpp"
+
+namespace tcdm {
+
+struct RunOutcome {
+  Cycle cycles = 0;
+  bool all_halted = false;
+};
+
+class Cluster final : public RspSink {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
+  [[nodiscard]] const StatsRegistry& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AddressMap& map() const noexcept { return map_; }
+  [[nodiscard]] Cycle now() const noexcept { return clock_.now(); }
+
+  // ---- program loading ----
+  /// Same program on every hart (fork-join style, parameterized by a0/a1).
+  void load_program(Program program);
+  /// Distinct program per hart.
+  void load_programs(std::vector<Program> programs);
+
+  // ---- host backdoor memory access (no timing) ----
+  void write_word(Addr addr, Word value);
+  [[nodiscard]] Word read_word(Addr addr) const;
+  void write_f32(Addr addr, float value) { write_word(addr, f32_to_word(value)); }
+  [[nodiscard]] float read_f32(Addr addr) const { return word_to_f32(read_word(addr)); }
+  void write_block(Addr addr, std::span<const Word> words);
+  void write_block_f32(Addr addr, std::span<const float> values);
+  [[nodiscard]] std::vector<float> read_block_f32(Addr addr, std::size_t count) const;
+
+  // ---- simulation ----
+  /// Advance one cycle; returns true when every hart has halted.
+  bool step();
+  /// Run to completion (all harts halted) or `max_cycles`; throws
+  /// DeadlockError if the watchdog fires.
+  RunOutcome run(Cycle max_cycles = 50'000'000);
+
+  /// Set the watchdog's no-progress window (cycles).
+  void set_watchdog_window(Cycle window) { watchdog_.set_window(window); }
+
+  // ---- RspSink ----
+  void deliver_rsp(const TcdmResp& rsp, Cycle now) override;
+
+  [[nodiscard]] Tile& tile(TileId id) { return *tiles_.at(id); }
+  [[nodiscard]] unsigned num_tiles() const noexcept {
+    return static_cast<unsigned>(tiles_.size());
+  }
+  [[nodiscard]] CentralBarrier& barrier() noexcept { return barrier_; }
+  [[nodiscard]] HierNetwork& network() noexcept { return *net_; }
+
+  // ---- aggregate metrics (over the whole run so far) ----
+  [[nodiscard]] double vector_flops() const { return stats_.sum_suffix(".vfpu.flops"); }
+  [[nodiscard]] double scalar_flops() const { return stats_.sum_suffix(".scalar_flops"); }
+  [[nodiscard]] double total_flops() const { return vector_flops() + scalar_flops(); }
+  /// Core<->TCDM traffic in bytes (vector + scalar, loads + stores).
+  [[nodiscard]] double bytes_accessed() const;
+  [[nodiscard]] double bytes_loaded() const;
+  [[nodiscard]] double bytes_stored() const;
+
+ private:
+  ClusterConfig cfg_;
+  Topology topo_;
+  AddressMap map_;
+  StatsRegistry stats_;
+  CentralBarrier barrier_;
+  std::unique_ptr<HierNetwork> net_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
+  std::vector<Program> programs_;
+  SimClock clock_;
+  Watchdog watchdog_;
+  double last_progress_token_ = -1.0;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,162 @@
+#include "src/cluster/cluster_config.hpp"
+
+#include <stdexcept>
+
+#include "src/common/bitutil.hpp"
+
+namespace tcdm {
+
+CoreConfig ClusterConfig::core_config() const {
+  CoreConfig cc;
+  cc.snitch = snitch;
+  cc.spatz.vlen_bits = vlen_bits;
+  cc.spatz.lanes = vlsu_ports;
+  cc.spatz.rob_depth = rob_depth;
+  cc.spatz.fpu_latency = fpu_latency;
+  cc.spatz.viq_depth = viq_depth;
+  cc.spatz.sender.enable_bursts = burst_enabled;
+  cc.spatz.sender.enable_strided_bursts = strided_bursts;
+  cc.spatz.sender.enable_store_bursts = store_bursts;
+  cc.spatz.sender.max_burst_len = effective_max_burst_len();
+  return cc;
+}
+
+void ClusterConfig::validate() const {
+  unsigned prod = 1;
+  for (unsigned s : level_sizes) prod *= s;
+  if (prod != num_tiles) {
+    throw std::invalid_argument(name + ": level sizes product != num_tiles");
+  }
+  if (level_latency.size() != level_sizes.size()) {
+    throw std::invalid_argument(name + ": level latency list size mismatch");
+  }
+  if (vlsu_ports == 0 || vlsu_ports > kMaxPorts) {
+    throw std::invalid_argument(name + ": vlsu_ports out of range");
+  }
+  if (banks_per_tile < vlsu_ports) {
+    throw std::invalid_argument(
+        name + ": banks_per_tile must be >= vlsu_ports for full local bandwidth");
+  }
+  if (vlen_bits % 32 != 0 || vlen_bits < 32) {
+    throw std::invalid_argument(name + ": vlen_bits must be a multiple of 32");
+  }
+  if (burst_enabled) {
+    if (grouping_factor < 1 || grouping_factor > kMaxGroupingFactor) {
+      throw std::invalid_argument(name + ": grouping factor out of range");
+    }
+    if (effective_max_burst_len() > banks_per_tile) {
+      throw std::invalid_argument(name + ": burst length exceeds banks per tile");
+    }
+    if (effective_max_burst_len() > kMaxBurstLen) {
+      throw std::invalid_argument(name + ": burst length exceeds kMaxBurstLen");
+    }
+  } else if (grouping_factor != 1) {
+    throw std::invalid_argument(name + ": GF > 1 requires burst_enabled");
+  }
+  if ((strided_bursts || store_bursts) && !burst_enabled) {
+    throw std::invalid_argument(name +
+                                ": strided/store bursts require burst_enabled");
+  }
+  if (net.req_grouping_factor < 1 || net.req_grouping_factor > kMaxGroupingFactor) {
+    throw std::invalid_argument(name + ": request grouping factor out of range");
+  }
+  if (net.req_grouping_factor > 1 && !store_bursts) {
+    throw std::invalid_argument(
+        name + ": a widened request channel is only used by store bursts");
+  }
+  if (!is_pow2(num_tiles) || !is_pow2(banks_per_tile)) {
+    throw std::invalid_argument(name + ": tile/bank counts must be powers of two");
+  }
+}
+
+ClusterConfig ClusterConfig::mp4spatz4() {
+  ClusterConfig c;
+  c.name = "mp4spatz4";
+  c.num_tiles = 4;
+  c.vlsu_ports = 4;
+  c.vlen_bits = 256;
+  c.banks_per_tile = 4;
+  c.bank_words = 1024;
+  // One flat level: every tile reaches its 3 peers through a dedicated
+  // remote port with a 3-cycle round-trip (paper §II-A config 1).
+  c.level_sizes = {1, 4};
+  c.level_latency = {{1, 1}, {1, 1}};
+  c.freq_ss_mhz = 770.0;
+  c.freq_tt_mhz = 910.0;
+  return c;
+}
+
+ClusterConfig ClusterConfig::mp64spatz4() {
+  ClusterConfig c;
+  c.name = "mp64spatz4";
+  c.num_tiles = 64;
+  c.vlsu_ports = 4;
+  c.vlen_bits = 256;
+  c.banks_per_tile = 4;
+  c.bank_words = 1024;
+  // 4 groups x 16 tiles: intra-group RT 3 cycles, inter-group RT 5 cycles
+  // (paper §II-A config 2). Port count per tile: 1 + 3 = 4.
+  c.level_sizes = {16, 4};
+  c.level_latency = {{1, 1}, {2, 2}};
+  c.freq_ss_mhz = 770.0;
+  c.freq_tt_mhz = 910.0;
+  return c;
+}
+
+ClusterConfig ClusterConfig::mp128spatz8() {
+  ClusterConfig c;
+  c.name = "mp128spatz8";
+  c.num_tiles = 128;
+  c.vlsu_ports = 8;
+  c.vlen_bits = 512;
+  c.banks_per_tile = 8;
+  c.bank_words = 1024;
+  // 4 groups x 4 subgroups x 8 tiles: RT 3 / 5 / 9 cycles (paper §II-A
+  // config 3). Port count per tile: 1 + 3 + 3 = 7.
+  c.level_sizes = {8, 4, 4};
+  c.level_latency = {{1, 1}, {2, 2}, {4, 4}};
+  c.freq_ss_mhz = 634.0;
+  c.freq_tt_mhz = 875.0;
+  return c;
+}
+
+ClusterConfig ClusterConfig::by_name(const std::string& name) {
+  if (name == "mp4spatz4") return mp4spatz4();
+  if (name == "mp64spatz4") return mp64spatz4();
+  if (name == "mp128spatz8") return mp128spatz8();
+  throw std::invalid_argument("unknown cluster preset: " + name);
+}
+
+ClusterConfig ClusterConfig::with_burst(unsigned gf) const {
+  ClusterConfig c = *this;
+  c.burst_enabled = true;
+  c.grouping_factor = gf;
+  c.net.grouping_factor = gf;
+  c.bm.grouping_factor = gf;
+  c.rob_depth = rob_depth * 2;  // paper §III-A: ROB depth doubled
+  c.name = name + "-gf" + std::to_string(gf);
+  return c;
+}
+
+ClusterConfig ClusterConfig::with_strided_bursts() const {
+  if (!burst_enabled) {
+    throw std::invalid_argument(name + ": apply with_burst before with_strided_bursts");
+  }
+  ClusterConfig c = *this;
+  c.strided_bursts = true;
+  c.name = name + "-sb";
+  return c;
+}
+
+ClusterConfig ClusterConfig::with_store_bursts(unsigned req_gf) const {
+  if (!burst_enabled) {
+    throw std::invalid_argument(name + ": apply with_burst before with_store_bursts");
+  }
+  ClusterConfig c = *this;
+  c.store_bursts = true;
+  c.net.req_grouping_factor = req_gf;
+  c.name = name + "-st" + std::to_string(req_gf);
+  return c;
+}
+
+}  // namespace tcdm

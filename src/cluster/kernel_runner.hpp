@@ -1,0 +1,47 @@
+// KernelRunner: build a cluster for a configuration, run a kernel, verify
+// it, and derive the metrics the paper reports (Table II columns and the
+// roofline coordinates of Fig. 3).
+#pragma once
+
+#include <string>
+
+#include "src/cluster/cluster.hpp"
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+struct KernelMetrics {
+  std::string config;
+  std::string kernel;
+  std::string size;
+
+  Cycle cycles = 0;
+  double flops = 0.0;            // vector + scalar FLOPs actually executed
+  double bytes = 0.0;            // kernel traffic (see Kernel::traffic_bytes)
+  double fpu_util = 0.0;         // flops / (cycles * peak FLOP/cycle)
+  double flops_per_cycle = 0.0;
+  double gflops_ss = 0.0;        // performance at the worst-case corner
+  double gflops_tt = 0.0;        // performance at the nominal corner
+  double bw_bytes_per_cycle = 0.0;   // cluster-aggregate achieved bandwidth
+  double bw_per_core = 0.0;          // per-VLSU achieved bandwidth (Table I units)
+  double arithmetic_intensity = 0.0;  // FLOP / byte
+  bool verified = false;
+  bool timed_out = false;
+};
+
+struct RunnerOptions {
+  bool verify = true;
+  Cycle max_cycles = 50'000'000;
+  Cycle watchdog_window = 100'000;
+};
+
+/// Run `kernel` on a fresh cluster built from `cfg`.
+[[nodiscard]] KernelMetrics run_kernel(const ClusterConfig& cfg, Kernel& kernel,
+                                       const RunnerOptions& opts = {});
+
+/// Run `kernel` on an existing cluster (already constructed; the runner
+/// calls setup/run/verify). Useful when the caller wants to inspect stats.
+[[nodiscard]] KernelMetrics run_kernel_on(Cluster& cluster, Kernel& kernel,
+                                          const RunnerOptions& opts = {});
+
+}  // namespace tcdm

@@ -1,0 +1,149 @@
+#include "src/cluster/tile.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace tcdm {
+
+namespace {
+BurstManagerConfig bm_config(const ClusterConfig& cfg) {
+  BurstManagerConfig bm = cfg.bm;
+  bm.grouping_factor = cfg.burst_enabled ? cfg.grouping_factor : 1;
+  if (cfg.store_bursts) bm.write_words_per_cycle = cfg.net.req_grouping_factor;
+  return bm;
+}
+}  // namespace
+
+Tile::Tile(const ClusterConfig& cfg, TileId id, HierNetwork& net, const AddressMap& map,
+           CentralBarrier& barrier, StatsRegistry& stats)
+    : id_(id), net_(net), map_(map), bm_(bm_config(cfg), map, id) {
+  banks_.reserve(cfg.banks_per_tile);
+  const std::string prefix = "tile" + std::to_string(id);
+  for (unsigned b = 0; b < cfg.banks_per_tile; ++b) {
+    banks_.emplace_back(cfg.bank_words, cfg.bank_in_depth, cfg.bank_out_depth);
+    banks_.back().attach_stats(stats, prefix + ".bank" + std::to_string(b));
+  }
+  bm_.attach_stats(stats, prefix + ".bm");
+  cc_ = std::make_unique<CoreComplex>(cfg.core_config(), id, cfg.num_cores(), barrier);
+  cc_->attach_stats(stats, "cc" + std::to_string(id));
+}
+
+bool Tile::try_local_push(unsigned bank_in_tile, const BankReq& req) {
+  return banks_.at(bank_in_tile).try_push(req);
+}
+
+void Tile::cycle_cores(Cycle now) { cc_->cycle(now, *this); }
+
+void Tile::accept_slave_requests(Cycle now) {
+  (void)now;
+  const unsigned num_classes = net_.topology().num_classes();
+  for (std::uint8_t cls = 0; cls < num_classes; ++cls) {
+    if (net_.slave_empty(id_, cls)) continue;
+    const TcdmReq& req = net_.slave_front(id_, cls);
+    if (req.len > 1) {
+      if (bm_.try_accept(req)) (void)net_.slave_pop(id_, cls);
+      continue;
+    }
+    // Narrow remote request: straight to its bank.
+    BankReq br;
+    br.row = map_.row_of(req.addr);
+    br.write = req.write;
+    br.amo_add = req.amo_add;
+    br.wdata = req.wdata;
+    br.route.kind = RouteKind::kRemoteNarrow;
+    br.route.owner = req.tag.owner;
+    br.route.port = req.tag.port;
+    br.route.rob_slot = req.tag.rob_slot;
+    br.route.id = req.tag.id;
+    br.route.src_tile = req.src_tile;
+    if (banks_[map_.bank_in_tile(req.addr)].try_push(br)) {
+      (void)net_.slave_pop(id_, cls);
+    }
+  }
+}
+
+void Tile::route_bank_responses(Cycle now) {
+  const unsigned n = static_cast<unsigned>(banks_.size());
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned b = (drain_rr_ + i) % n;
+    SpmBank& bank = banks_[b];
+    if (!bank.resp_ready()) continue;
+    const BankResp& resp = bank.resp_front();
+    switch (resp.route.kind) {
+      case RouteKind::kLocalVector:
+      case RouteKind::kLocalScalar:
+        cc_->deliver_local(resp, now);
+        (void)bank.resp_pop();
+        break;
+      case RouteKind::kBurstSegment:
+        bm_.fill(resp.route, resp.data);
+        (void)bank.resp_pop();
+        break;
+      case RouteKind::kRemoteNarrow: {
+        const TileId requester = resp.route.src_tile;
+        if (resp.route.write) {
+          // Posted store: out-of-band completion credit, no response beat.
+          net_.send_store_ack(id_, requester, resp.route.owner, now);
+          (void)bank.resp_pop();
+          break;
+        }
+        const std::uint8_t cls = net_.topology().class_of(id_, requester);
+        if (!net_.can_send_rsp(id_, cls, now)) break;  // bank output stalls
+        TcdmResp out;
+        out.num_words = 1;
+        out.data[0] = resp.data;
+        out.dst_tile = requester;
+        out.tag.owner = resp.route.owner;
+        out.tag.port = resp.route.port;
+        out.tag.rob_slot = resp.route.rob_slot;
+        out.tag.id = resp.route.id;
+        net_.send_rsp(id_, out, now);
+        (void)bank.resp_pop();
+        break;
+      }
+    }
+  }
+  drain_rr_ = (drain_rr_ + 1) % n;
+}
+
+void Tile::emit_burst_beats(Cycle now) {
+  // Each completed merge slot becomes one wide beat on its response port.
+  // A blocked class only defers its own slots.
+  const unsigned max_attempts = 64;
+  for (unsigned i = 0; i < max_attempts; ++i) {
+    const auto slot = bm_.next_ready_slot();
+    if (!slot.has_value()) return;
+    const TileId requester = bm_.slot_requester(*slot);
+    const std::uint8_t cls = net_.topology().class_of(id_, requester);
+    if (net_.can_send_rsp(id_, cls, now)) {
+      net_.send_rsp(id_, bm_.take_beat(*slot), now);
+    } else {
+      bm_.defer_slot(*slot);  // its class port is busy; other classes go on
+    }
+  }
+}
+
+void Tile::cycle_memory(Cycle now) {
+  accept_slave_requests(now);
+  bm_.issue(banks_);
+  for (SpmBank& bank : banks_) bank.cycle();
+  // Alternate response priority between narrow bank traffic and merged
+  // burst beats so neither starves the shared response ports.
+  if (bm_priority_) {
+    emit_burst_beats(now);
+    route_bank_responses(now);
+  } else {
+    route_bank_responses(now);
+    emit_burst_beats(now);
+  }
+  bm_priority_ = !bm_priority_;
+}
+
+bool Tile::memory_busy() const {
+  for (const SpmBank& bank : banks_) {
+    if (bank.busy()) return true;
+  }
+  return bm_.busy();
+}
+
+}  // namespace tcdm

@@ -1,0 +1,51 @@
+// Tile: one Core Complex, its SPM banks, the tile-local full crossbar
+// (modeled as direct bank-queue access), a Burst Manager, and the routing
+// glue between banks, the core and the hierarchical network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+#include "src/cluster/tile_services.hpp"
+#include "src/memory/spm_bank.hpp"
+#include "src/spatz/core_complex.hpp"
+
+namespace tcdm {
+
+class Tile final : public TileServices {
+ public:
+  Tile(const ClusterConfig& cfg, TileId id, HierNetwork& net, const AddressMap& map,
+       CentralBarrier& barrier, StatsRegistry& stats);
+
+  // ---- TileServices ----
+  [[nodiscard]] bool try_local_push(unsigned bank_in_tile, const BankReq& req) override;
+  [[nodiscard]] HierNetwork& net() override { return net_; }
+  [[nodiscard]] const AddressMap& map() const override { return map_; }
+  [[nodiscard]] TileId tile_id() const override { return id_; }
+
+  // ---- per-cycle stages ----
+  void cycle_cores(Cycle now);
+  void cycle_memory(Cycle now);
+
+  [[nodiscard]] CoreComplex& cc() noexcept { return *cc_; }
+  [[nodiscard]] const CoreComplex& cc() const noexcept { return *cc_; }
+  [[nodiscard]] SpmBank& bank(unsigned b) { return banks_.at(b); }
+  [[nodiscard]] bool memory_busy() const;
+
+ private:
+  void accept_slave_requests(Cycle now);
+  void route_bank_responses(Cycle now);
+  void emit_burst_beats(Cycle now);
+
+  TileId id_;
+  HierNetwork& net_;
+  const AddressMap& map_;
+  std::vector<SpmBank> banks_;
+  BurstManager bm_;
+  std::unique_ptr<CoreComplex> cc_;
+  unsigned drain_rr_ = 0;      // rotating bank-drain start
+  bool bm_priority_ = false;   // alternate bank-vs-BM response priority
+};
+
+}  // namespace tcdm

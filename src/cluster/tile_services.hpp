@@ -1,0 +1,26 @@
+// Interface a Core Complex uses to reach its surroundings: the local tile's
+// SPM banks (single-cycle path) and the hierarchical network (remote path).
+// Implemented by Tile; consumed by the Snitch LSU and the Burst Sender.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/interconnect/network.hpp"
+#include "src/memory/address_map.hpp"
+#include "src/memory/mem_types.hpp"
+
+namespace tcdm {
+
+class TileServices {
+ public:
+  virtual ~TileServices() = default;
+
+  /// Push a request into a local bank's input queue (full local bandwidth:
+  /// every bank has its own port into the tile-local crossbar).
+  [[nodiscard]] virtual bool try_local_push(unsigned bank_in_tile, const BankReq& req) = 0;
+
+  [[nodiscard]] virtual HierNetwork& net() = 0;
+  [[nodiscard]] virtual const AddressMap& map() const = 0;
+  [[nodiscard]] virtual TileId tile_id() const = 0;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,5 @@
+// arbiter.hpp is header-only; this TU exists so the build presents one object
+// per module and is the anchor for future non-template arbitration policies.
+#include "src/common/arbiter.hpp"
+
+namespace tcdm {}

@@ -1,0 +1,46 @@
+// Round-robin arbitration, the policy used at every shared port of the
+// MemPool-style interconnect (bank input muxes, slave ports, response ports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace tcdm {
+
+/// Classic rotating-priority arbiter over a fixed number of requesters.
+/// `pick` scans requesters starting from the slot after the previous grant
+/// and returns the first one whose predicate is true; the winner becomes the
+/// lowest-priority requester for the next arbitration round.
+class RoundRobinArbiter {
+ public:
+  RoundRobinArbiter() = default;
+  explicit RoundRobinArbiter(unsigned num_requesters) : n_(num_requesters) {}
+
+  void resize(unsigned num_requesters) noexcept {
+    n_ = num_requesters;
+    if (n_ != 0) next_ %= n_;
+  }
+
+  [[nodiscard]] unsigned size() const noexcept { return n_; }
+
+  template <typename ReadyPred>
+  [[nodiscard]] std::optional<unsigned> pick(ReadyPred&& ready) {
+    for (unsigned i = 0; i < n_; ++i) {
+      const unsigned idx = (next_ + i) % n_;
+      if (ready(idx)) {
+        next_ = (idx + 1) % n_;
+        return idx;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Observe rotation state (tests / debugging).
+  [[nodiscard]] unsigned next_priority() const noexcept { return next_; }
+
+ private:
+  unsigned n_ = 0;
+  unsigned next_ = 0;
+};
+
+}  // namespace tcdm

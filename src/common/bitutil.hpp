@@ -1,0 +1,46 @@
+// Small bit-manipulation helpers used across address mapping and kernels.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace tcdm {
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)); v must be non-zero.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// log2 of an exact power of two.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  assert(is_pow2(v));
+  return log2_floor(v);
+}
+
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t a) noexcept {
+  return v - (v % a);
+}
+
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) noexcept {
+  return align_down(v + a - 1, a);
+}
+
+/// Reverse the low `bits` bits of `v` (used by the FFT bit-reversal pass).
+[[nodiscard]] constexpr std::uint32_t bit_reverse(std::uint32_t v, unsigned bits) noexcept {
+  std::uint32_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+}  // namespace tcdm

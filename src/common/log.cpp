@@ -1,0 +1,36 @@
+#include "src/common/log.hpp"
+
+#include <cstdio>
+
+namespace tcdm {
+
+namespace {
+LogLevel g_level = LogLevel::warn;
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::error: return "ERROR";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level), static_cast<int>(msg.size()),
+               msg.data());
+}
+}  // namespace detail
+
+}  // namespace tcdm

@@ -1,0 +1,31 @@
+// Minimal leveled logger. The hot path costs one branch when a level is
+// disabled; message formatting happens only for enabled levels.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tcdm {
+
+enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4, trace = 5 };
+
+/// Process-wide log level (single-threaded simulator; no synchronization).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg);
+}
+
+/// Stream-style logging: logf(LogLevel::debug, "bank ", id, " conflict at ", cycle).
+template <typename... Args>
+void logf(LogLevel level, Args&&... args) {
+  if (!log_enabled(level)) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::log_emit(level, oss.str());
+}
+
+}  // namespace tcdm

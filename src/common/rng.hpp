@@ -1,0 +1,70 @@
+// Deterministic PRNG (xoshiro128++) for reproducible workload generation.
+// All simulator randomness (random-access probe targets, test data) flows
+// through this type, seeded explicitly, so every run is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace tcdm {
+
+class Xoshiro128 {
+ public:
+  explicit Xoshiro128(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the 128-bit state.
+    std::uint64_t x = seed;
+    auto next64 = [&x]() noexcept {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    const std::uint64_t a = next64();
+    const std::uint64_t b = next64();
+    s_[0] = static_cast<std::uint32_t>(a);
+    s_[1] = static_cast<std::uint32_t>(a >> 32);
+    s_[2] = static_cast<std::uint32_t>(b);
+    s_[3] = static_cast<std::uint32_t>(b >> 32);
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;  // state must be non-zero
+  }
+
+  [[nodiscard]] std::uint32_t next_u32() noexcept {
+    const std::uint32_t result = rotl(s_[0] + s_[3], 7) + s_[0];
+    const std::uint32_t t = s_[1] << 9;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 11);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be non-zero.
+  [[nodiscard]] std::uint32_t next_below(std::uint32_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free mapping (slight bias acceptable
+    // for workload generation; determinism is what matters here).
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(next_u32()) * bound) >> 32);
+  }
+
+  /// Uniform float in [0, 1).
+  [[nodiscard]] float next_f32() noexcept {
+    return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  [[nodiscard]] float next_f32(float lo, float hi) noexcept {
+    return lo + (hi - lo) * next_f32();
+  }
+
+ private:
+  static constexpr std::uint32_t rotl(std::uint32_t x, int k) noexcept {
+    return (x << k) | (x >> (32 - k));
+  }
+  std::uint32_t s_[4]{};
+};
+
+}  // namespace tcdm

@@ -1,0 +1,16 @@
+#include "src/common/sim_time.hpp"
+
+#include <sstream>
+
+namespace tcdm {
+
+void Watchdog::check(Cycle now) const {
+  if (now - last_progress_ > window_) {
+    std::ostringstream oss;
+    oss << "watchdog: no simulation progress for " << window_ << " cycles (now=" << now
+        << ", last progress=" << last_progress_ << "); likely deadlock or livelock";
+    throw DeadlockError(oss.str());
+  }
+}
+
+}  // namespace tcdm

@@ -1,0 +1,52 @@
+// Global simulated clock plus a deadlock watchdog.
+//
+// The cluster advances one cycle at a time; every component that makes
+// forward progress (accepts a request, retires a response, completes an
+// instruction) notifies the watchdog. If no progress happens for a
+// configurable window while cores are still running, the simulation aborts
+// with a diagnostic instead of spinning forever — essential when testing
+// arbitration/backpressure corner cases.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace tcdm {
+
+class SimClock {
+ public:
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  void advance() noexcept { ++now_; }
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  Cycle now_ = 0;
+};
+
+/// Thrown when the watchdog detects a hang (or a program runs past its
+/// cycle budget). Tests assert on this for deadlock-freedom properties.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(Cycle window = 100000) : window_(window) {}
+
+  void note_progress(Cycle now) noexcept { last_progress_ = now; }
+
+  /// Call once per cycle; throws DeadlockError if the progress window expired.
+  void check(Cycle now) const;
+
+  [[nodiscard]] Cycle window() const noexcept { return window_; }
+  void set_window(Cycle window) noexcept { window_ = window; }
+
+ private:
+  Cycle window_;
+  Cycle last_progress_ = 0;
+};
+
+}  // namespace tcdm

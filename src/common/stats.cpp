@@ -1,0 +1,69 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tcdm {
+
+Counter StatsRegistry::counter(const std::string& name) {
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    it = slots_.emplace(name, std::make_unique<double>(0.0)).first;
+  }
+  return Counter(it->second.get());
+}
+
+double StatsRegistry::value(const std::string& name) const {
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? 0.0 : *it->second;
+}
+
+double StatsRegistry::sum_prefix(std::string_view prefix) const {
+  double total = 0.0;
+  // std::map is ordered: the matching range is contiguous.
+  for (auto it = slots_.lower_bound(std::string(prefix)); it != slots_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += *it->second;
+  }
+  return total;
+}
+
+double StatsRegistry::sum_suffix(std::string_view suffix) const {
+  double total = 0.0;
+  for (const auto& [name, slot] : slots_) {
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      total += *slot;
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, double>> StatsRegistry::snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.emplace_back(name, *slot);
+  return out;
+}
+
+std::string StatsRegistry::to_json() const {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact for doubles
+  os << "{\n";
+  bool first = true;
+  // Counter names are internal identifiers (no quotes/backslashes), so
+  // plain quoting suffices; std::map iteration keeps the output sorted.
+  for (const auto& [name, slot] : slots_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << name << "\": " << *slot;
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+void StatsRegistry::reset() {
+  for (auto& [name, slot] : slots_) *slot = 0.0;
+}
+
+}  // namespace tcdm

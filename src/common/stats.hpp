@@ -1,0 +1,65 @@
+// Lightweight statistics registry. Components create named counters once at
+// construction and bump them through a raw-pointer handle on the hot path;
+// reports walk the registry by name at the end of a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcdm {
+
+/// Hot-path handle to a single accumulating statistic.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(double* slot) noexcept : slot_(slot) {}
+
+  void inc(double v = 1.0) noexcept {
+    if (slot_ != nullptr) *slot_ += v;
+  }
+  [[nodiscard]] double value() const noexcept { return slot_ != nullptr ? *slot_ : 0.0; }
+  [[nodiscard]] bool valid() const noexcept { return slot_ != nullptr; }
+
+ private:
+  double* slot_ = nullptr;
+};
+
+/// Name -> value map with stable storage so Counter handles never dangle.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Returns a handle to the named counter, creating it (at 0) on first use.
+  [[nodiscard]] Counter counter(const std::string& name);
+
+  /// Value lookup; returns 0 for unknown names.
+  [[nodiscard]] double value(const std::string& name) const;
+
+  /// Sum over all counters whose name starts with `prefix`.
+  [[nodiscard]] double sum_prefix(std::string_view prefix) const;
+
+  /// Sum over all counters whose name ends with `suffix` (e.g. ".vfpu.flops"
+  /// across every core).
+  [[nodiscard]] double sum_suffix(std::string_view suffix) const;
+
+  /// Sorted snapshot for reporting.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Serialize every counter as a flat JSON object ({"name": value, ...}),
+  /// sorted by name — the machine-readable end-of-run dump consumed by
+  /// external analysis scripts.
+  [[nodiscard]] std::string to_json() const;
+
+  void reset();
+
+ private:
+  std::map<std::string, std::unique_ptr<double>> slots_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,34 @@
+// Fundamental scalar types shared by every module of the TCDM-Burst simulator.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace tcdm {
+
+/// Simulation time in clock cycles.
+using Cycle = std::uint64_t;
+
+/// Byte address into the cluster's shared L1 (TCDM) address space.
+using Addr = std::uint32_t;
+
+/// One 32-bit data word; the narrow transaction granularity of the TCDM.
+using Word = std::uint32_t;
+
+/// Identifier types. Kept as plain integers for hot-path performance; the
+/// owning container defines the namespace (tile index, bank index, ...).
+using TileId = std::uint32_t;
+using CoreId = std::uint32_t;
+using BankId = std::uint32_t;
+using PortId = std::uint32_t;
+
+inline constexpr unsigned kWordBytes = 4;
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Reinterpret an IEEE-754 single as its 32-bit memory image and back.
+/// The simulator is functional: banks store real bits, FPUs compute real math.
+[[nodiscard]] constexpr Word f32_to_word(float f) noexcept { return std::bit_cast<Word>(f); }
+[[nodiscard]] constexpr float word_to_f32(Word w) noexcept { return std::bit_cast<float>(w); }
+
+}  // namespace tcdm

@@ -1,0 +1,209 @@
+#include "src/interconnect/network.hpp"
+
+#include <cassert>
+
+namespace tcdm {
+
+HierNetwork::HierNetwork(const Topology& topo, const NetworkConfig& cfg, StatsRegistry& stats)
+    : topo_(topo), cfg_(cfg), num_classes_(topo.num_classes()), num_tiles_(topo.num_tiles()) {
+  assert(cfg_.grouping_factor >= 1 && cfg_.grouping_factor <= kMaxGroupingFactor);
+  const std::size_t ports = static_cast<std::size_t>(num_tiles_) * num_classes_;
+
+  req_master_.reserve(ports);
+  rsp_master_.reserve(ports);
+  req_slave_.reserve(ports);
+  req_wait_.reserve(ports);
+  rsp_wait_.reserve(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    const auto cls = static_cast<std::uint8_t>(p % num_classes_);
+    req_master_.emplace_back(topo.req_latency(cls) + cfg_.master_extra_slots);
+    rsp_master_.emplace_back(topo.rsp_latency(cls) + cfg_.master_extra_slots);
+    req_slave_.emplace_back(cfg_.slave_depth);
+    // A waitlist can at worst hold every tile in the cluster.
+    req_wait_.emplace_back(num_tiles_);
+    rsp_wait_.emplace_back(num_tiles_);
+  }
+  assert(cfg_.req_grouping_factor >= 1 && cfg_.req_grouping_factor <= kMaxGroupingFactor);
+  req_master_free_at_.assign(ports, 0);
+  rsp_master_last_push_.assign(ports, kNoCycle);
+  req_registered_.assign(ports, false);
+  rsp_registered_.assign(ports, false);
+  rsp_egress_rr_.assign(num_tiles_, 0);
+  acks_.resize(num_tiles_);
+
+  req_sent_ = stats.counter("network.req_sent");
+  req_words_ = stats.counter("network.req_words");
+  rsp_beats_ = stats.counter("network.rsp_beats");
+  rsp_words_ = stats.counter("network.rsp_words");
+  req_hop_words_ = stats.counter("network.req_hop_words");
+  rsp_hop_words_ = stats.counter("network.rsp_hop_words");
+  egress_blocked_ = stats.counter("network.egress_blocked_cycles");
+}
+
+bool HierNetwork::can_send_req(TileId src, std::uint8_t cls, Cycle now) const {
+  // One request per (tile, class) master port per cycle. A K-element
+  // unit-stride beat targets a single tile, hence a single class port, so
+  // baseline remote traffic serializes to 4 B/cycle (eq. 3) while streams
+  // to different hierarchy branches may proceed in parallel, as the RTL's
+  // per-class physical ports allow. Write bursts additionally hold the port
+  // while their payload streams out (see send_req).
+  const std::size_t p = port_index(src, cls);
+  return now >= req_master_free_at_[p] && !req_master_[p].full();
+}
+
+void HierNetwork::send_req(TileId src, TileId dst, const TcdmReq& req, Cycle now) {
+  const std::uint8_t cls = topo_.class_of(src, dst);
+  const std::size_t p = port_index(src, cls);
+  assert(can_send_req(src, cls, now));
+  // A read burst is a single header beat; a write burst streams its payload
+  // across the request-channel data field over ceil(len / req_gf) cycles.
+  const Cycle beats =
+      req.write && req.len > 1
+          ? (req.len + cfg_.req_grouping_factor - 1) / cfg_.req_grouping_factor
+          : 1;
+  const bool ok = req_master_[p].try_push(ReqEntry{req, dst},
+                                          now + topo_.req_latency(cls) + beats - 1);
+  assert(ok);
+  (void)ok;
+  req_master_free_at_[p] = now + beats;
+  req_sent_.inc();
+  req_words_.inc(req.len);
+  req_hop_words_.inc(static_cast<double>(req.len) * (topo_.req_latency(cls) + 1));
+  if (!req_registered_[p]) register_req_head(src, cls);
+}
+
+bool HierNetwork::can_send_rsp(TileId responder, std::uint8_t cls, Cycle now) const {
+  // Responder side: one beat per (tile, class) per cycle — each class has
+  // its own response wires in the RTL. The CC-side 1-beat/cycle gate is at
+  // the requester's egress (see cycle()).
+  const std::size_t p = port_index(responder, cls);
+  return rsp_master_last_push_[p] != now && !rsp_master_[p].full();
+}
+
+void HierNetwork::send_rsp(TileId responder, const TcdmResp& rsp, Cycle now) {
+  const std::uint8_t cls = topo_.class_of(responder, rsp.dst_tile);
+  const std::size_t p = port_index(responder, cls);
+  assert(can_send_rsp(responder, cls, now));
+  const bool ok = rsp_master_[p].try_push(rsp, now + topo_.rsp_latency(cls));
+  assert(ok);
+  (void)ok;
+  rsp_master_last_push_[p] = now;
+  rsp_beats_.inc();
+  rsp_words_.inc(rsp.num_words);
+  rsp_hop_words_.inc(static_cast<double>(rsp.num_words) * (topo_.rsp_latency(cls) + 1));
+  if (!rsp_registered_[p]) register_rsp_head(responder, cls);
+}
+
+void HierNetwork::send_store_ack(TileId responder, TileId requester, ReqOwner owner,
+                                 Cycle now) {
+  const std::uint8_t cls = topo_.class_of(responder, requester);
+  acks_[requester].push_back(AckEntry{now + topo_.rsp_latency(cls), owner});
+  rsp_hop_words_.inc(static_cast<double>(topo_.rsp_latency(cls)) + 1);
+}
+
+void HierNetwork::register_req_head(TileId src, std::uint8_t cls) {
+  const std::size_t p = port_index(src, cls);
+  if (req_master_[p].empty()) return;
+  const TileId dst = req_master_[p].front().dst;
+  const bool ok = req_wait_[port_index(dst, cls)].try_push(src);
+  assert(ok);
+  (void)ok;
+  req_registered_[p] = true;
+}
+
+void HierNetwork::register_rsp_head(TileId responder, std::uint8_t cls) {
+  const std::size_t p = port_index(responder, cls);
+  if (rsp_master_[p].empty()) return;
+  const TileId dst = rsp_master_[p].front().dst_tile;
+  const bool ok = rsp_wait_[port_index(dst, cls)].try_push(responder);
+  assert(ok);
+  (void)ok;
+  rsp_registered_[p] = true;
+}
+
+void HierNetwork::cycle(Cycle now, RspSink& sink) {
+  // Deliver due store-ack credits (out-of-band; see send_store_ack). Acks
+  // are enqueued in ready order per tile, so only the head needs checking.
+  for (TileId t = 0; t < num_tiles_; ++t) {
+    auto& q = acks_[t];
+    while (!q.empty() && q.front().ready_at <= now) {
+      TcdmResp ack;
+      ack.write_ack = true;
+      ack.num_words = 0;
+      ack.dst_tile = t;
+      ack.tag.owner = q.front().owner;
+      sink.deliver_rsp(ack, now);
+      q.pop_front();
+    }
+  }
+
+  // Request egress: one delivery per (dst, class) per cycle, FCFS over the
+  // master ports whose head currently routes here.
+  for (TileId dst = 0; dst < num_tiles_; ++dst) {
+    for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
+      const std::size_t e = port_index(dst, cls);
+      auto& wait = req_wait_[e];
+      if (wait.empty()) continue;
+      auto& slave = req_slave_[e];
+      if (slave.full()) {
+        egress_blocked_.inc();
+        continue;
+      }
+      const TileId src = wait.front();
+      const std::size_t mp = port_index(src, cls);
+      auto& master = req_master_[mp];
+      assert(!master.empty());
+      if (!master.front_ready(now)) continue;  // pipe latency not yet elapsed
+      assert(master.front().dst == dst);
+      const bool ok = slave.try_push(master.pop().req);
+      assert(ok);
+      (void)ok;
+      wait.pop();
+      req_registered_[mp] = false;
+      register_req_head(src, cls);  // re-register for the new head (if any)
+    }
+  }
+
+  // Response egress: the CC retires at most ONE beat per cycle across all
+  // classes (its GF-wide response channel); rotate class priority for
+  // fairness. Delivery straight into the requesting core (always sinkable).
+  for (TileId dst = 0; dst < num_tiles_; ++dst) {
+    const unsigned rr = rsp_egress_rr_[dst];
+    for (unsigned k = 0; k < num_classes_; ++k) {
+      const auto cls = static_cast<std::uint8_t>((rr + k) % num_classes_);
+      const std::size_t e = port_index(dst, cls);
+      auto& wait = rsp_wait_[e];
+      if (wait.empty()) continue;
+      const TileId responder = wait.front();
+      const std::size_t mp = port_index(responder, cls);
+      auto& master = rsp_master_[mp];
+      assert(!master.empty());
+      if (!master.front_ready(now)) continue;
+      assert(master.front().dst_tile == dst);
+      sink.deliver_rsp(master.pop(), now);
+      wait.pop();
+      rsp_registered_[mp] = false;
+      register_rsp_head(responder, cls);
+      rsp_egress_rr_[dst] = (cls + 1) % num_classes_;
+      break;  // one beat per requester per cycle
+    }
+  }
+}
+
+bool HierNetwork::busy() const {
+  for (const auto& q : acks_) {
+    if (!q.empty()) return true;
+  }
+  for (const auto& q : req_master_) {
+    if (!q.empty()) return true;
+  }
+  for (const auto& q : req_slave_) {
+    if (!q.empty()) return true;
+  }
+  for (const auto& q : rsp_master_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace tcdm

@@ -1,0 +1,159 @@
+// Hierarchical request/response interconnect.
+//
+// Structure per tile (mirroring the MemPool-style RTL):
+//  * one *request master port* per destination class — a FIFO that accepts at
+//    most one request per cycle (this serialization of K parallel VLSU
+//    requests into one narrow port is exactly the baseline bottleneck the
+//    paper attacks) and imposes the class's one-way pipe latency;
+//  * one *request slave queue* per (tile, class) — the ingress at the
+//    destination tile, refilled at one request per cycle by an FCFS egress
+//    arbiter over all master ports currently heading there;
+//  * the mirrored *response* network, whose beats carry up to GF (grouping
+//    factor) words — the paper's widened response channel.
+//
+// Per-core channel width (paper eq. 3): a tile injects at most ONE remote
+// request per cycle and retires at most ONE response beat per cycle across
+// *all* classes — the CC's narrow request channel and its (GF-wide) response
+// channel. This is what serializes a K-element remote vector access to
+// 4 B/cycle in the baseline and lifts it to GF x 4 B/cycle with bursts,
+// independent of how the traffic spreads over destination classes. The
+// response-injection side at the serving tile is gated symmetrically.
+//
+// Backpressure: full slave queues stall the egress arbiter, full master
+// queues reject sends (callers retry), and the whole chain ends at the SPM
+// bank output registers. Head-of-line blocking in the port FIFOs is modeled,
+// as in the RTL.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/bounded_queue.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/timed_queue.hpp"
+#include "src/common/types.hpp"
+#include "src/interconnect/topology.hpp"
+#include "src/memory/mem_types.hpp"
+
+namespace tcdm {
+
+struct NetworkConfig {
+  /// Response-channel grouping factor: words per response beat (paper's GF).
+  unsigned grouping_factor = 1;
+  /// Request-channel data width in words (store-burst extension). A write
+  /// burst of L words occupies its master port for ceil(L / this) cycles —
+  /// with the default of 1 a store burst saves nothing over narrow stores,
+  /// which is precisely the paper's argument for bursting loads only.
+  unsigned req_grouping_factor = 1;
+  /// Master-port FIFO slots beyond the pipe latency (output register depth).
+  unsigned master_extra_slots = 2;
+  /// Request slave queue depth per (tile, class).
+  unsigned slave_depth = 4;
+};
+
+/// Consumer of delivered response beats (implemented by the cluster, which
+/// forwards to the requesting Core Complex). Delivery always succeeds: every
+/// response fills a pre-allocated slot (ROB entry, scalar pending register or
+/// store counter), so the requester can always sink it.
+class RspSink {
+ public:
+  virtual ~RspSink() = default;
+  virtual void deliver_rsp(const TcdmResp& rsp, Cycle now) = 0;
+};
+
+class HierNetwork {
+ public:
+  HierNetwork(const Topology& topo, const NetworkConfig& cfg, StatsRegistry& stats);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] unsigned grouping_factor() const noexcept { return cfg_.grouping_factor; }
+
+  // ---- request ingress (cores stage; at most one per (src, class) per cycle) ----
+  [[nodiscard]] bool can_send_req(TileId src, std::uint8_t cls, Cycle now) const;
+  void send_req(TileId src, TileId dst, const TcdmReq& req, Cycle now);
+
+  // ---- response ingress (memory stage; one beat per (responder, class) per cycle) ----
+  [[nodiscard]] bool can_send_rsp(TileId responder, std::uint8_t cls, Cycle now) const;
+  void send_rsp(TileId responder, const TcdmResp& rsp, Cycle now);
+
+  // ---- store acknowledgements ----
+  // TCDM stores are posted and receive no data response in the RTL; the
+  // core's outstanding-store counter is decremented by a credit signal.
+  // Modeled as an out-of-band channel with the class's response latency
+  // that does not occupy response-beat bandwidth. Always accepted.
+  void send_store_ack(TileId responder, TileId requester, ReqOwner owner, Cycle now);
+
+  // ---- network stage: move one request per (dst, class) into its slave
+  //      queue and deliver one response beat per (requester, class) ----
+  void cycle(Cycle now, RspSink& sink);
+
+  // ---- request egress: slave queues drained by the destination tile ----
+  [[nodiscard]] bool slave_empty(TileId dst, std::uint8_t cls) const {
+    return req_slave_[port_index(dst, cls)].empty();
+  }
+  [[nodiscard]] const TcdmReq& slave_front(TileId dst, std::uint8_t cls) const {
+    return req_slave_[port_index(dst, cls)].front();
+  }
+  TcdmReq slave_pop(TileId dst, std::uint8_t cls) {
+    return req_slave_[port_index(dst, cls)].pop();
+  }
+
+  /// Any transaction still inside the network (drain check for barriers/tests).
+  [[nodiscard]] bool busy() const;
+
+ private:
+  [[nodiscard]] std::size_t port_index(TileId tile, std::uint8_t cls) const noexcept {
+    return static_cast<std::size_t>(tile) * num_classes_ + cls;
+  }
+  void register_req_head(TileId src, std::uint8_t cls);
+  void register_rsp_head(TileId responder, std::uint8_t cls);
+
+  struct ReqEntry {
+    TcdmReq req;
+    TileId dst = 0;
+  };
+
+  const Topology& topo_;
+  NetworkConfig cfg_;
+  unsigned num_classes_ = 0;
+  unsigned num_tiles_ = 0;
+
+  // Request path.
+  std::vector<TimedQueue<ReqEntry>> req_master_;      // [src * C + cls]
+  std::vector<Cycle> req_master_free_at_;             // first cycle the port is free
+                                                      // (write bursts hold it for
+                                                      // ceil(len/req_gf) cycles)
+  std::vector<bool> req_registered_;                  // head present in a waitlist
+  std::vector<BoundedQueue<std::uint32_t>> req_wait_;  // [dst * C + cls] -> src ids
+  std::vector<BoundedQueue<TcdmReq>> req_slave_;       // [dst * C + cls]
+
+  // Response path.
+  std::vector<TimedQueue<TcdmResp>> rsp_master_;       // [responder * C + cls]
+  std::vector<Cycle> rsp_master_last_push_;
+  std::vector<bool> rsp_registered_;
+  std::vector<BoundedQueue<std::uint32_t>> rsp_wait_;  // [requester * C + cls] -> responder ids
+
+  // CC response channel gating happens at the requester egress (one beat
+  // per cycle across classes); request serialization is per class port.
+  std::vector<unsigned> rsp_egress_rr_;  // [requester]: rotating class priority
+
+  // Out-of-band store-ack credits, per requester tile (ready_at, owner).
+  struct AckEntry {
+    Cycle ready_at = 0;
+    ReqOwner owner = ReqOwner::kScalar;
+  };
+  std::vector<std::deque<AckEntry>> acks_;
+
+  // Statistics.
+  Counter req_sent_;
+  Counter req_words_;
+  Counter rsp_beats_;
+  Counter rsp_words_;
+  Counter req_hop_words_;   // words x pipe stages traversed (energy model)
+  Counter rsp_hop_words_;
+  Counter egress_blocked_;  // cycles an egress had traffic but the slave queue was full
+};
+
+}  // namespace tcdm

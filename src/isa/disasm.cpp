@@ -1,0 +1,135 @@
+#include "src/isa/disasm.hpp"
+
+#include <sstream>
+
+namespace tcdm {
+
+namespace {
+std::string x(unsigned i) { return "x" + std::to_string(i); }
+std::string f(unsigned i) { return "f" + std::to_string(i); }
+std::string v(unsigned i) { return "v" + std::to_string(i); }
+}  // namespace
+
+std::string disasm(const Instr& i) {
+  std::ostringstream o;
+  o << opcode_name(i.op) << " ";
+  switch (i.op) {
+    case Opcode::kNop:
+    case Opcode::kBarrier:
+    case Opcode::kHalt:
+      break;
+    case Opcode::kLi:
+      o << x(i.rd) << ", " << i.imm;
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+      o << x(i.rd) << ", " << x(i.rs1) << ", " << x(i.rs2);
+      break;
+    case Opcode::kAddi:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSlti:
+      o << x(i.rd) << ", " << x(i.rs1) << ", " << i.imm;
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      o << x(i.rs1) << ", " << x(i.rs2) << ", @" << i.imm;
+      break;
+    case Opcode::kJal:
+      o << "@" << i.imm;
+      break;
+    case Opcode::kLw:
+      o << x(i.rd) << ", " << i.imm << "(" << x(i.rs1) << ")";
+      break;
+    case Opcode::kSw:
+      o << x(i.rs2) << ", " << i.imm << "(" << x(i.rs1) << ")";
+      break;
+    case Opcode::kFlw:
+      o << f(i.rd) << ", " << i.imm << "(" << x(i.rs1) << ")";
+      break;
+    case Opcode::kFsw:
+      o << f(i.rs2) << ", " << i.imm << "(" << x(i.rs1) << ")";
+      break;
+    case Opcode::kAmoaddW:
+      o << x(i.rd) << ", " << x(i.rs2) << ", (" << x(i.rs1) << ")";
+      break;
+    case Opcode::kFaddS:
+    case Opcode::kFsubS:
+    case Opcode::kFmulS:
+      o << f(i.rd) << ", " << f(i.rs1) << ", " << f(i.rs2);
+      break;
+    case Opcode::kFmaddS:
+      o << f(i.rd) << ", " << f(i.rs1) << ", " << f(i.rs2) << ", " << f(i.rs3);
+      break;
+    case Opcode::kFmvWX:
+      o << f(i.rd) << ", " << x(i.rs1);
+      break;
+    case Opcode::kFmvXW:
+      o << x(i.rd) << ", " << f(i.rs1);
+      break;
+    case Opcode::kVsetvli:
+      o << x(i.rd) << ", " << x(i.rs1) << ", e32, m" << static_cast<int>(i.lmul);
+      break;
+    case Opcode::kVle32:
+      o << v(i.rd) << ", (" << x(i.rs1) << ")";
+      break;
+    case Opcode::kVse32:
+      o << v(i.rd) << ", (" << x(i.rs1) << ")";
+      break;
+    case Opcode::kVlse32:
+    case Opcode::kVsse32:
+      o << v(i.rd) << ", (" << x(i.rs1) << "), " << x(i.rs2);
+      break;
+    case Opcode::kVluxei32:
+    case Opcode::kVsuxei32:
+      o << v(i.rd) << ", (" << x(i.rs1) << "), " << v(i.rs2);
+      break;
+    case Opcode::kVfaddVV:
+    case Opcode::kVfsubVV:
+    case Opcode::kVfmulVV:
+    case Opcode::kVfmaccVV:
+    case Opcode::kVfnmsacVV:
+    case Opcode::kVfmaxVV:
+    case Opcode::kVfminVV:
+      o << v(i.rd) << ", " << v(i.rs1) << ", " << v(i.rs2);
+      break;
+    case Opcode::kVfaddVF:
+    case Opcode::kVfmulVF:
+    case Opcode::kVfmaccVF:
+    case Opcode::kVfmaxVF:
+      o << v(i.rd) << ", " << f(i.rs1) << ", " << v(i.rs2);
+      break;
+    case Opcode::kVfmvVF:
+      o << v(i.rd) << ", " << f(i.rs1);
+      break;
+    case Opcode::kVfredusum:
+      o << v(i.rd) << ", " << v(i.rs2) << ", " << v(i.rs1);
+      break;
+  }
+  return o.str();
+}
+
+std::string disasm(const Program& program) {
+  std::ostringstream o;
+  o << "; program '" << program.name() << "' (" << program.size() << " instrs)\n";
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    o << pc << ":\t" << disasm(program.at(pc)) << "\n";
+  }
+  return o.str();
+}
+
+}  // namespace tcdm

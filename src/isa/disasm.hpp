@@ -1,0 +1,18 @@
+// Human-readable rendering of micro-ISA instructions, used by traces and
+// simulator diagnostics.
+#pragma once
+
+#include <string>
+
+#include "src/isa/instruction.hpp"
+#include "src/isa/program.hpp"
+
+namespace tcdm {
+
+/// One-line assembly-like rendering, e.g. "vfmacc.vv v8, v4, v12".
+[[nodiscard]] std::string disasm(const Instr& instr);
+
+/// Full program listing with instruction indices.
+[[nodiscard]] std::string disasm(const Program& program);
+
+}  // namespace tcdm

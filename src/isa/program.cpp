@@ -1,0 +1,229 @@
+#include "src/isa/program.hpp"
+
+#include <sstream>
+
+namespace tcdm {
+
+Label ProgramBuilder::make_label() {
+  label_pos_.push_back(-1);
+  return Label{label_pos_.size() - 1};
+}
+
+void ProgramBuilder::bind(Label label) {
+  if (label.id >= label_pos_.size()) throw ProgramError("bind: unknown label");
+  if (label_pos_[label.id] >= 0) throw ProgramError("bind: label bound twice");
+  label_pos_[label.id] = static_cast<std::ptrdiff_t>(code_.size());
+}
+
+void ProgramBuilder::check_reg(std::uint8_t idx, unsigned limit, const char* kind) {
+  if (idx >= limit) {
+    std::ostringstream oss;
+    oss << "register out of range: " << kind << static_cast<unsigned>(idx);
+    throw ProgramError(oss.str());
+  }
+}
+
+void ProgramBuilder::emit(Instr instr) { code_.push_back(instr); }
+
+void ProgramBuilder::emit_branch(Opcode op, XReg rs1, XReg rs2, Label target) {
+  if (target.id >= label_pos_.size()) throw ProgramError("branch: unknown label");
+  Instr i;
+  i.op = op;
+  i.rs1 = rs1.idx;
+  i.rs2 = rs2.idx;
+  fixups_.emplace_back(code_.size(), target.id);
+  emit(i);
+}
+
+// ---- scalar integer ----
+void ProgramBuilder::nop() { emit(Instr{}); }
+void ProgramBuilder::li(XReg rd, std::int32_t imm) {
+  emit(Instr{.op = Opcode::kLi, .rd = rd.idx, .imm = imm});
+}
+void ProgramBuilder::add(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kAdd, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::sub(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kSub, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::mul(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kMul, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::addi(XReg rd, XReg rs1, std::int32_t imm) {
+  emit(Instr{.op = Opcode::kAddi, .rd = rd.idx, .rs1 = rs1.idx, .imm = imm});
+}
+void ProgramBuilder::slli(XReg rd, XReg rs1, unsigned shamt) {
+  emit(Instr{.op = Opcode::kSlli, .rd = rd.idx, .rs1 = rs1.idx,
+             .imm = static_cast<std::int32_t>(shamt)});
+}
+void ProgramBuilder::srli(XReg rd, XReg rs1, unsigned shamt) {
+  emit(Instr{.op = Opcode::kSrli, .rd = rd.idx, .rs1 = rs1.idx,
+             .imm = static_cast<std::int32_t>(shamt)});
+}
+void ProgramBuilder::srai(XReg rd, XReg rs1, unsigned shamt) {
+  emit(Instr{.op = Opcode::kSrai, .rd = rd.idx, .rs1 = rs1.idx,
+             .imm = static_cast<std::int32_t>(shamt)});
+}
+void ProgramBuilder::and_(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kAnd, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::or_(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kOr, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::xor_(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kXor, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::andi(XReg rd, XReg rs1, std::int32_t imm) {
+  emit(Instr{.op = Opcode::kAndi, .rd = rd.idx, .rs1 = rs1.idx, .imm = imm});
+}
+void ProgramBuilder::ori(XReg rd, XReg rs1, std::int32_t imm) {
+  emit(Instr{.op = Opcode::kOri, .rd = rd.idx, .rs1 = rs1.idx, .imm = imm});
+}
+void ProgramBuilder::xori(XReg rd, XReg rs1, std::int32_t imm) {
+  emit(Instr{.op = Opcode::kXori, .rd = rd.idx, .rs1 = rs1.idx, .imm = imm});
+}
+void ProgramBuilder::slt(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kSlt, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::sltu(XReg rd, XReg rs1, XReg rs2) {
+  emit(Instr{.op = Opcode::kSltu, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::slti(XReg rd, XReg rs1, std::int32_t imm) {
+  emit(Instr{.op = Opcode::kSlti, .rd = rd.idx, .rs1 = rs1.idx, .imm = imm});
+}
+
+// ---- control flow ----
+void ProgramBuilder::beq(XReg rs1, XReg rs2, Label t) { emit_branch(Opcode::kBeq, rs1, rs2, t); }
+void ProgramBuilder::bne(XReg rs1, XReg rs2, Label t) { emit_branch(Opcode::kBne, rs1, rs2, t); }
+void ProgramBuilder::blt(XReg rs1, XReg rs2, Label t) { emit_branch(Opcode::kBlt, rs1, rs2, t); }
+void ProgramBuilder::bge(XReg rs1, XReg rs2, Label t) { emit_branch(Opcode::kBge, rs1, rs2, t); }
+void ProgramBuilder::bltu(XReg rs1, XReg rs2, Label t) { emit_branch(Opcode::kBltu, rs1, rs2, t); }
+void ProgramBuilder::bgeu(XReg rs1, XReg rs2, Label t) { emit_branch(Opcode::kBgeu, rs1, rs2, t); }
+void ProgramBuilder::j(Label target) { emit_branch(Opcode::kJal, XReg{0}, XReg{0}, target); }
+
+// ---- scalar memory ----
+void ProgramBuilder::lw(XReg rd, XReg base, std::int32_t offset) {
+  emit(Instr{.op = Opcode::kLw, .rd = rd.idx, .rs1 = base.idx, .imm = offset});
+}
+void ProgramBuilder::sw(XReg src, XReg base, std::int32_t offset) {
+  emit(Instr{.op = Opcode::kSw, .rs1 = base.idx, .rs2 = src.idx, .imm = offset});
+}
+void ProgramBuilder::flw(FReg rd, XReg base, std::int32_t offset) {
+  emit(Instr{.op = Opcode::kFlw, .rd = rd.idx, .rs1 = base.idx, .imm = offset});
+}
+void ProgramBuilder::fsw(FReg src, XReg base, std::int32_t offset) {
+  emit(Instr{.op = Opcode::kFsw, .rs1 = base.idx, .rs2 = src.idx, .imm = offset});
+}
+void ProgramBuilder::amoadd_w(XReg rd, XReg addr, XReg value) {
+  emit(Instr{.op = Opcode::kAmoaddW, .rd = rd.idx, .rs1 = addr.idx, .rs2 = value.idx});
+}
+
+// ---- scalar float ----
+void ProgramBuilder::fadd_s(FReg rd, FReg rs1, FReg rs2) {
+  emit(Instr{.op = Opcode::kFaddS, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::fsub_s(FReg rd, FReg rs1, FReg rs2) {
+  emit(Instr{.op = Opcode::kFsubS, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::fmul_s(FReg rd, FReg rs1, FReg rs2) {
+  emit(Instr{.op = Opcode::kFmulS, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx});
+}
+void ProgramBuilder::fmadd_s(FReg rd, FReg rs1, FReg rs2, FReg rs3) {
+  emit(Instr{.op = Opcode::kFmaddS, .rd = rd.idx, .rs1 = rs1.idx, .rs2 = rs2.idx,
+             .rs3 = rs3.idx});
+}
+void ProgramBuilder::fmv_w_x(FReg rd, XReg rs1) {
+  emit(Instr{.op = Opcode::kFmvWX, .rd = rd.idx, .rs1 = rs1.idx});
+}
+void ProgramBuilder::fmv_x_w(XReg rd, FReg rs1) {
+  emit(Instr{.op = Opcode::kFmvXW, .rd = rd.idx, .rs1 = rs1.idx});
+}
+
+// ---- synchronization ----
+void ProgramBuilder::barrier() { emit(Instr{.op = Opcode::kBarrier}); }
+void ProgramBuilder::halt() { emit(Instr{.op = Opcode::kHalt}); }
+
+// ---- vector ----
+void ProgramBuilder::vsetvli(XReg rd, XReg avl, Lmul lmul) {
+  emit(Instr{.op = Opcode::kVsetvli, .rd = rd.idx, .rs1 = avl.idx, .lmul = lmul});
+}
+void ProgramBuilder::vle32(VReg vd, XReg base) {
+  emit(Instr{.op = Opcode::kVle32, .rd = vd.idx, .rs1 = base.idx});
+}
+void ProgramBuilder::vse32(VReg vs3, XReg base) {
+  emit(Instr{.op = Opcode::kVse32, .rd = vs3.idx, .rs1 = base.idx});
+}
+void ProgramBuilder::vlse32(VReg vd, XReg base, XReg stride_bytes) {
+  emit(Instr{.op = Opcode::kVlse32, .rd = vd.idx, .rs1 = base.idx, .rs2 = stride_bytes.idx});
+}
+void ProgramBuilder::vsse32(VReg vs3, XReg base, XReg stride_bytes) {
+  emit(Instr{.op = Opcode::kVsse32, .rd = vs3.idx, .rs1 = base.idx, .rs2 = stride_bytes.idx});
+}
+void ProgramBuilder::vluxei32(VReg vd, XReg base, VReg index) {
+  emit(Instr{.op = Opcode::kVluxei32, .rd = vd.idx, .rs1 = base.idx, .rs2 = index.idx});
+}
+void ProgramBuilder::vsuxei32(VReg vs3, XReg base, VReg index) {
+  emit(Instr{.op = Opcode::kVsuxei32, .rd = vs3.idx, .rs1 = base.idx, .rs2 = index.idx});
+}
+void ProgramBuilder::vfadd_vv(VReg vd, VReg vs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfaddVV, .rd = vd.idx, .rs1 = vs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfsub_vv(VReg vd, VReg vs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfsubVV, .rd = vd.idx, .rs1 = vs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmul_vv(VReg vd, VReg vs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfmulVV, .rd = vd.idx, .rs1 = vs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmacc_vv(VReg vd, VReg vs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfmaccVV, .rd = vd.idx, .rs1 = vs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfnmsac_vv(VReg vd, VReg vs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfnmsacVV, .rd = vd.idx, .rs1 = vs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmax_vv(VReg vd, VReg vs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfmaxVV, .rd = vd.idx, .rs1 = vs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmin_vv(VReg vd, VReg vs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfminVV, .rd = vd.idx, .rs1 = vs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfadd_vf(VReg vd, FReg rs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfaddVF, .rd = vd.idx, .rs1 = rs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmul_vf(VReg vd, FReg rs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfmulVF, .rd = vd.idx, .rs1 = rs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmacc_vf(VReg vd, FReg rs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfmaccVF, .rd = vd.idx, .rs1 = rs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmax_vf(VReg vd, FReg rs1, VReg vs2) {
+  emit(Instr{.op = Opcode::kVfmaxVF, .rd = vd.idx, .rs1 = rs1.idx, .rs2 = vs2.idx});
+}
+void ProgramBuilder::vfmv_v_f(VReg vd, FReg rs1) {
+  emit(Instr{.op = Opcode::kVfmvVF, .rd = vd.idx, .rs1 = rs1.idx});
+}
+void ProgramBuilder::vfredusum(VReg vd, VReg vs2, VReg vs1_scalar) {
+  emit(Instr{.op = Opcode::kVfredusum, .rd = vd.idx, .rs1 = vs1_scalar.idx, .rs2 = vs2.idx});
+}
+
+Program ProgramBuilder::build() {
+  // Register-range validation: every field that names a register must be <32.
+  for (const Instr& i : code_) {
+    check_reg(i.rd, kNumXRegs, "reg");
+    check_reg(i.rs1, kNumXRegs, "reg");
+    check_reg(i.rs2, kNumXRegs, "reg");
+    check_reg(i.rs3, kNumXRegs, "reg");
+  }
+  for (const auto& [instr_idx, label_id] : fixups_) {
+    const std::ptrdiff_t pos = label_pos_.at(label_id);
+    if (pos < 0) {
+      std::ostringstream oss;
+      oss << "program '" << name_ << "': unbound label " << label_id << " used by instruction "
+          << instr_idx;
+      throw ProgramError(oss.str());
+    }
+    code_[instr_idx].imm = static_cast<std::int32_t>(pos);
+  }
+  return Program(code_, name_);
+}
+
+}  // namespace tcdm

@@ -1,0 +1,155 @@
+// Program container and the assembler-style builder API that kernels (and
+// library users, see examples/custom_kernel_axpy) use to write vector code
+// for the simulated cluster.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/isa/instruction.hpp"
+
+namespace tcdm {
+
+/// Error produced when a program is malformed (unbound label, bad register).
+class ProgramError : public std::runtime_error {
+ public:
+  explicit ProgramError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Immutable executable image for one core: a flat instruction vector where
+/// branch targets are resolved instruction indices.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Instr> code, std::string name = "")
+      : code_(std::move(code)), name_(std::move(name)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return code_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return code_.empty(); }
+  [[nodiscard]] const Instr& at(std::size_t pc) const { return code_.at(pc); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Instr>& code() const noexcept { return code_; }
+
+ private:
+  std::vector<Instr> code_;
+  std::string name_;
+};
+
+/// Forward-reference-capable label. Obtain via ProgramBuilder::make_label(),
+/// place via bind(), use as a branch/jump target before or after binding.
+struct Label {
+  std::size_t id = static_cast<std::size_t>(-1);
+};
+
+/// Assembler-like builder. Example:
+///
+///   ProgramBuilder b("axpy");
+///   Label loop = b.make_label();
+///   b.bind(loop);
+///   b.vsetvli(t0, a2, Lmul::m4);
+///   b.vle32(VReg{8}, a0);
+///   ...
+///   b.bnez(a2, loop);
+///   b.halt();
+///   Program p = b.build();
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name = "") : name_(std::move(name)) {}
+
+  [[nodiscard]] Label make_label();
+  void bind(Label label);
+
+  /// Index the next emitted instruction will occupy.
+  [[nodiscard]] std::size_t here() const noexcept { return code_.size(); }
+
+  // ---- scalar integer ----
+  void nop();
+  void li(XReg rd, std::int32_t imm);
+  void mv(XReg rd, XReg rs) { addi(rd, rs, 0); }
+  void add(XReg rd, XReg rs1, XReg rs2);
+  void sub(XReg rd, XReg rs1, XReg rs2);
+  void mul(XReg rd, XReg rs1, XReg rs2);
+  void addi(XReg rd, XReg rs1, std::int32_t imm);
+  void slli(XReg rd, XReg rs1, unsigned shamt);
+  void srli(XReg rd, XReg rs1, unsigned shamt);
+  void srai(XReg rd, XReg rs1, unsigned shamt);
+  void and_(XReg rd, XReg rs1, XReg rs2);
+  void or_(XReg rd, XReg rs1, XReg rs2);
+  void xor_(XReg rd, XReg rs1, XReg rs2);
+  void andi(XReg rd, XReg rs1, std::int32_t imm);
+  void ori(XReg rd, XReg rs1, std::int32_t imm);
+  void xori(XReg rd, XReg rs1, std::int32_t imm);
+  void slt(XReg rd, XReg rs1, XReg rs2);
+  void sltu(XReg rd, XReg rs1, XReg rs2);
+  void slti(XReg rd, XReg rs1, std::int32_t imm);
+
+  // ---- control flow ----
+  void beq(XReg rs1, XReg rs2, Label target);
+  void bne(XReg rs1, XReg rs2, Label target);
+  void blt(XReg rs1, XReg rs2, Label target);
+  void bge(XReg rs1, XReg rs2, Label target);
+  void bltu(XReg rs1, XReg rs2, Label target);
+  void bgeu(XReg rs1, XReg rs2, Label target);
+  void beqz(XReg rs1, Label target) { beq(rs1, XReg{0}, target); }
+  void bnez(XReg rs1, Label target) { bne(rs1, XReg{0}, target); }
+  void j(Label target);
+
+  // ---- scalar memory ----
+  void lw(XReg rd, XReg base, std::int32_t offset = 0);
+  void sw(XReg src, XReg base, std::int32_t offset = 0);
+  void flw(FReg rd, XReg base, std::int32_t offset = 0);
+  void fsw(FReg src, XReg base, std::int32_t offset = 0);
+  void amoadd_w(XReg rd, XReg addr, XReg value);
+
+  // ---- scalar float ----
+  void fadd_s(FReg rd, FReg rs1, FReg rs2);
+  void fsub_s(FReg rd, FReg rs1, FReg rs2);
+  void fmul_s(FReg rd, FReg rs1, FReg rs2);
+  void fmadd_s(FReg rd, FReg rs1, FReg rs2, FReg rs3);
+  void fmv_w_x(FReg rd, XReg rs1);
+  void fmv_x_w(XReg rd, FReg rs1);
+
+  // ---- synchronization ----
+  void barrier();
+  void halt();
+
+  // ---- vector ----
+  void vsetvli(XReg rd, XReg avl, Lmul lmul);
+  void vle32(VReg vd, XReg base);
+  void vse32(VReg vs3, XReg base);
+  void vlse32(VReg vd, XReg base, XReg stride_bytes);
+  void vsse32(VReg vs3, XReg base, XReg stride_bytes);
+  void vluxei32(VReg vd, XReg base, VReg index);
+  void vsuxei32(VReg vs3, XReg base, VReg index);
+  void vfadd_vv(VReg vd, VReg vs1, VReg vs2);
+  void vfsub_vv(VReg vd, VReg vs1, VReg vs2);
+  void vfmul_vv(VReg vd, VReg vs1, VReg vs2);
+  void vfmacc_vv(VReg vd, VReg vs1, VReg vs2);
+  void vfnmsac_vv(VReg vd, VReg vs1, VReg vs2);
+  void vfmax_vv(VReg vd, VReg vs1, VReg vs2);
+  void vfmin_vv(VReg vd, VReg vs1, VReg vs2);
+  void vfadd_vf(VReg vd, FReg rs1, VReg vs2);
+  void vfmul_vf(VReg vd, FReg rs1, VReg vs2);
+  void vfmacc_vf(VReg vd, FReg rs1, VReg vs2);
+  void vfmax_vf(VReg vd, FReg rs1, VReg vs2);
+  void vfmv_v_f(VReg vd, FReg rs1);
+  void vfredusum(VReg vd, VReg vs2, VReg vs1_scalar);
+
+  /// Resolve labels and produce the executable image. Throws ProgramError on
+  /// unbound labels or out-of-range registers.
+  [[nodiscard]] Program build();
+
+ private:
+  void emit(Instr instr);
+  void emit_branch(Opcode op, XReg rs1, XReg rs2, Label target);
+  static void check_reg(std::uint8_t idx, unsigned limit, const char* kind);
+
+  std::string name_;
+  std::vector<Instr> code_;
+  std::vector<std::ptrdiff_t> label_pos_;          // -1 while unbound
+  std::vector<std::pair<std::size_t, std::size_t>> fixups_;  // (instr idx, label id)
+};
+
+}  // namespace tcdm

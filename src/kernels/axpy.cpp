@@ -1,0 +1,99 @@
+#include "src/kernels/axpy.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+AxpyKernel::AxpyKernel(unsigned n, float alpha, std::uint64_t seed)
+    : n_(n), alpha_(alpha), seed_(seed) {}
+
+void AxpyKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned nharts = cfg.num_cores();
+  if (n_ % nharts != 0) {
+    throw std::invalid_argument("axpy: n must be divisible by the hart count");
+  }
+  const unsigned chunk = n_ / nharts;
+
+  MemLayout mem(cluster.map());
+  const Addr x_base = mem.alloc_words(n_);
+  y_base_ = mem.alloc_words(n_);
+  const Addr alpha_addr = mem.alloc_words(1);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> x(n_), y(n_);
+  for (unsigned i = 0; i < n_; ++i) x[i] = rng.next_f32(-1.0f, 1.0f);
+  for (unsigned i = 0; i < n_; ++i) y[i] = rng.next_f32(-1.0f, 1.0f);
+  cluster.write_block_f32(x_base, x);
+  cluster.write_block_f32(y_base_, y);
+  cluster.write_f32(alpha_addr, alpha_);
+  expected_ = y;
+  golden::axpy(alpha_, x, expected_);
+
+  ProgramBuilder pb("axpy");
+  const VReg vx{0}, vy{8}, vx2{4}, vy2{12};
+
+  pb.li(t0, static_cast<std::int32_t>(chunk * kWordBytes));
+  pb.mul(t1, a0, t0);
+  pb.li(a2, static_cast<std::int32_t>(x_base));
+  pb.add(a2, a2, t1);
+  pb.li(a3, static_cast<std::int32_t>(y_base_));
+  pb.add(a3, a3, t1);
+  pb.li(t2, static_cast<std::int32_t>(alpha_addr));
+  pb.flw(fa0, t2, 0);
+  pb.li(s0, static_cast<std::int32_t>(chunk));
+
+  // Strip-mined, 2x unrolled when a full double block remains.
+  const unsigned vlmax = cfg.vlen_bits / 32 * 4;  // m4
+  pb.li(s1, static_cast<std::int32_t>(2 * vlmax));
+  Label main = pb.make_label();
+  Label rem = pb.make_label();
+  Label fin = pb.make_label();
+  pb.bind(main);
+  pb.bltu(s0, s1, rem);
+  pb.li(t2, static_cast<std::int32_t>(vlmax));
+  pb.vsetvli(t3, t2, Lmul::m4);
+  pb.vle32(vx, a2);
+  pb.vle32(vy, a3);
+  pb.vfmacc_vf(vy, fa0, vx);
+  pb.vse32(vy, a3);
+  pb.addi(a2, a2, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.addi(a3, a3, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.vle32(vx2, a2);
+  pb.vle32(vy2, a3);
+  pb.vfmacc_vf(vy2, fa0, vx2);
+  pb.vse32(vy2, a3);
+  pb.addi(a2, a2, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.addi(a3, a3, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.addi(s0, s0, -static_cast<std::int32_t>(2 * vlmax));
+  pb.j(main);
+
+  pb.bind(rem);
+  pb.beqz(s0, fin);
+  pb.vsetvli(t3, s0, Lmul::m4);
+  pb.vle32(vx, a2);
+  pb.vle32(vy, a3);
+  pb.vfmacc_vf(vy, fa0, vx);
+  pb.vse32(vy, a3);
+  pb.slli(t4, t3, 2);
+  pb.add(a2, a2, t4);
+  pb.add(a3, a3, t4);
+  pb.sub(s0, s0, t3);
+  pb.j(rem);
+
+  pb.bind(fin);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool AxpyKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual = cluster.read_block_f32(y_base_, n_);
+  return golden::all_close(actual, expected_, 1e-4f, 1e-5f);
+}
+
+}  // namespace tcdm

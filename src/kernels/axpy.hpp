@@ -1,0 +1,29 @@
+// AXPY kernel: y <- alpha * x + y over n fp32 elements. A second
+// memory-bound workload (AI ~ 0.17 FLOP/B counting the write-back) that
+// exercises the store path alongside burst loads.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class AxpyKernel final : public Kernel {
+ public:
+  AxpyKernel(unsigned n, float alpha = 1.5f, std::uint64_t seed = 2);
+
+  [[nodiscard]] std::string name() const override { return "axpy"; }
+  [[nodiscard]] std::string size_desc() const override { return std::to_string(n_); }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned n_;
+  float alpha_;
+  std::uint64_t seed_;
+  Addr y_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

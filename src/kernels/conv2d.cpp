@@ -1,0 +1,103 @@
+#include "src/kernels/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+Conv2dKernel::Conv2dKernel(unsigned h, unsigned w, std::uint64_t seed)
+    : h_(h), w_(w), seed_(seed) {
+  if (h_ < 3 || w_ < 3) {
+    throw std::invalid_argument("conv2d: image must be at least 3x3");
+  }
+}
+
+void Conv2dKernel::setup(Cluster& cluster) {
+  const unsigned wo = w_ - 2;
+  const unsigned ho = h_ - 2;
+
+  MemLayout mem(cluster.map());
+  const Addr in_base = mem.alloc_words(static_cast<std::size_t>(h_) * w_);
+  const Addr k_base = mem.alloc_words(9);
+  out_base_ = mem.alloc_words(static_cast<std::size_t>(ho) * wo);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> in(static_cast<std::size_t>(h_) * w_), k(9);
+  for (float& v : in) v = rng.next_f32(0.0f, 1.0f);
+  for (float& v : k) v = rng.next_f32(0.0f, 1.0f);
+  cluster.write_block_f32(in_base, in);
+  cluster.write_block_f32(k_base, k);
+  expected_.assign(static_cast<std::size_t>(ho) * wo, 0.0f);
+  golden::conv2d_3x3(in, k, expected_, h_, w_);
+
+  // Nine weights live in scalar float registers for vfmacc.vf broadcast.
+  const FReg wreg[9] = {ft1, ft2, ft3, ft4, ft5, ft6, ft7, fa0, fa1};
+  const VReg acc{0}, vin_a{8}, vin_b{10};  // LMUL m2
+
+  ProgramBuilder pb("conv2d");
+  pb.li(t0, static_cast<std::int32_t>(k_base));
+  for (unsigned i = 0; i < 9; ++i) {
+    pb.flw(wreg[i], t0, static_cast<std::int32_t>(i * kWordBytes));
+  }
+  pb.fmv_w_x(ft0, x0);
+  pb.li(s2, static_cast<std::int32_t>(in_base));
+  pb.li(s3, static_cast<std::int32_t>(out_base_));
+  pb.li(s5, static_cast<std::int32_t>(ho));             // output row bound
+  pb.mv(s6, a0);                                        // y = hartid
+  pb.li(s8, static_cast<std::int32_t>(w_ * kWordBytes));   // input row stride
+  pb.li(s9, static_cast<std::int32_t>(wo * kWordBytes));   // output row stride
+
+  Label rowloop = pb.make_label();
+  Label done = pb.make_label();
+  pb.bind(rowloop);
+  pb.bge(s6, s5, done);
+
+  pb.mul(t1, s6, s8);
+  pb.add(t1, t1, s2);  // input cursor: &in[y][0]
+  pb.mul(t2, s6, s9);
+  pb.add(t2, t2, s3);  // output cursor: &out[y][0]
+  pb.li(s0, static_cast<std::int32_t>(wo));  // remaining output columns
+
+  Label col = pb.make_label();
+  Label colfin = pb.make_label();
+  pb.bind(col);
+  pb.beqz(s0, colfin);
+  pb.vsetvli(t4, s0, Lmul::m2);
+  pb.vfmv_v_f(acc, ft0);
+  pb.mv(t5, t1);
+  for (unsigned dy = 0; dy < 3; ++dy) {
+    for (unsigned dx = 0; dx < 3; ++dx) {
+      const VReg vin = ((dy * 3 + dx) % 2 == 0) ? vin_a : vin_b;
+      pb.addi(t6, t5, static_cast<std::int32_t>(dx * kWordBytes));
+      pb.vle32(vin, t6);
+      pb.vfmacc_vf(acc, wreg[dy * 3 + dx], vin);
+    }
+    if (dy < 2) pb.add(t5, t5, s8);
+  }
+  pb.vse32(acc, t2);
+  pb.slli(t3, t4, 2);
+  pb.add(t1, t1, t3);
+  pb.add(t2, t2, t3);
+  pb.sub(s0, s0, t4);
+  pb.j(col);
+
+  pb.bind(colfin);
+  pb.add(s6, s6, a1);  // y += nharts
+  pb.j(rowloop);
+
+  pb.bind(done);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool Conv2dKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual =
+      cluster.read_block_f32(out_base_, expected_.size());
+  return golden::all_close(actual, expected_, 1e-3f, 1e-4f);
+}
+
+}  // namespace tcdm

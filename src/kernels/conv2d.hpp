@@ -1,0 +1,34 @@
+// Conv2D kernel: valid 3x3 convolution over an h x w fp32 image (extension
+// workload). Output rows are distributed round-robin over the harts; each
+// output strip accumulates nine unit-stride input loads (burst-eligible,
+// including non-stripe-aligned bases at dx=1,2) against scalar-broadcast
+// weights (vfmacc.vf). Arithmetic intensity 18/40 = 0.45 FLOP/B.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class Conv2dKernel final : public Kernel {
+ public:
+  /// Requires h, w >= 3. Any shape works; column strips are strip-mined.
+  Conv2dKernel(unsigned h, unsigned w, std::uint64_t seed = 12);
+
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(h_) + "x" + std::to_string(w_) + "x3x3";
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned h_;
+  unsigned w_;
+  std::uint64_t seed_;
+  Addr out_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,129 @@
+#include "src/kernels/dotp.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+DotpKernel::DotpKernel(unsigned n, std::uint64_t seed) : n_(n), seed_(seed) {}
+
+void DotpKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned nharts = cfg.num_cores();
+  if (n_ % nharts != 0) {
+    throw std::invalid_argument("dotp: n must be divisible by the hart count");
+  }
+  const unsigned chunk = n_ / nharts;
+  const unsigned vlmax = cfg.vlen_bits / 32 * 4;  // LMUL m4
+
+  MemLayout mem(cluster.map());
+  const Addr a_base = mem.alloc_words(n_);
+  const Addr b_base = mem.alloc_words(n_);
+  const Addr parts_base = mem.alloc_words(nharts);
+  result_addr_ = mem.alloc_words(1);
+
+  // Positive operands keep the reduction well away from catastrophic
+  // cancellation, so a relative verify tolerance is meaningful.
+  Xoshiro128 rng(seed_);
+  std::vector<float> a(n_), b(n_);
+  for (unsigned i = 0; i < n_; ++i) a[i] = rng.next_f32(0.0f, 1.0f);
+  for (unsigned i = 0; i < n_; ++i) b[i] = rng.next_f32(0.0f, 1.0f);
+  cluster.write_block_f32(a_base, a);
+  cluster.write_block_f32(b_base, b);
+  expected_ = golden::dotp(a, b);
+
+  ProgramBuilder pb("dotp");
+  const VReg acc0{16}, acc1{20}, va{0}, va2{4}, vb{8}, vb2{12}, vred{24};
+
+  // Per-hart slice pointers.
+  pb.li(t0, static_cast<std::int32_t>(chunk * kWordBytes));
+  pb.mul(t1, a0, t0);  // byte offset of this hart's slice
+  pb.li(a2, static_cast<std::int32_t>(a_base));
+  pb.add(a2, a2, t1);
+  pb.li(a3, static_cast<std::int32_t>(b_base));
+  pb.add(a3, a3, t1);
+  pb.li(s0, static_cast<std::int32_t>(chunk));  // remaining elements
+  pb.li(s1, static_cast<std::int32_t>(2 * vlmax));
+  pb.fmv_w_x(ft0, x0);  // 0.0f
+  pb.li(t2, static_cast<std::int32_t>(vlmax));
+  pb.vsetvli(t3, t2, Lmul::m4);
+  pb.vfmv_v_f(acc0, ft0);
+  pb.vfmv_v_f(acc1, ft0);
+
+  // Main loop: two load pairs + two chained vfmacc per iteration.
+  Label main = pb.make_label();
+  Label rem = pb.make_label();
+  Label fin = pb.make_label();
+  pb.bind(main);
+  pb.bltu(s0, s1, rem);
+  pb.vle32(va, a2);
+  pb.addi(a2, a2, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.vle32(vb, a3);
+  pb.addi(a3, a3, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.vfmacc_vv(acc0, va, vb);
+  pb.vle32(va2, a2);
+  pb.addi(a2, a2, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.vle32(vb2, a3);
+  pb.addi(a3, a3, static_cast<std::int32_t>(vlmax * kWordBytes));
+  pb.vfmacc_vv(acc1, va2, vb2);
+  pb.addi(s0, s0, -static_cast<std::int32_t>(2 * vlmax));
+  pb.j(main);
+
+  // Remainder: strip-mined tail for chunk % (2*VLMAX) != 0.
+  pb.bind(rem);
+  pb.beqz(s0, fin);
+  pb.vsetvli(t3, s0, Lmul::m4);
+  pb.vle32(va, a2);
+  pb.vle32(vb, a3);
+  pb.vfmacc_vv(acc0, va, vb);
+  pb.slli(t4, t3, 2);
+  pb.add(a2, a2, t4);
+  pb.add(a3, a3, t4);
+  pb.sub(s0, s0, t3);
+  pb.j(rem);
+
+  // Reduce to one word and publish this hart's partial.
+  pb.bind(fin);
+  pb.li(t2, static_cast<std::int32_t>(vlmax));
+  pb.vsetvli(t3, t2, Lmul::m4);
+  pb.vfadd_vv(acc0, acc0, acc1);
+  pb.vfmv_v_f(vred, ft0);
+  pb.vfredusum(vred, acc0, vred);
+  pb.li(t2, 1);
+  pb.vsetvli(t3, t2, Lmul::m1);
+  pb.li(t5, static_cast<std::int32_t>(parts_base));
+  pb.slli(t6, a0, 2);
+  pb.add(t5, t5, t6);
+  pb.vse32(vred, t5);
+  pb.barrier();
+
+  // Hart 0 combines the partials.
+  Label done = pb.make_label();
+  pb.bnez(a0, done);
+  pb.li(t5, static_cast<std::int32_t>(parts_base));
+  pb.fmv_w_x(ft1, x0);
+  pb.li(s2, 0);
+  Label red = pb.make_label();
+  pb.bind(red);
+  pb.flw(ft2, t5, 0);
+  pb.fadd_s(ft1, ft1, ft2);
+  pb.addi(t5, t5, 4);
+  pb.addi(s2, s2, 1);
+  pb.blt(s2, a1, red);
+  pb.li(t6, static_cast<std::int32_t>(result_addr_));
+  pb.fsw(ft1, t6, 0);
+  pb.bind(done);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool DotpKernel::verify(const Cluster& cluster) const {
+  const float actual = cluster.read_f32(result_addr_);
+  return golden::close(actual, expected_, 1e-2f, 1e-2f);
+}
+
+}  // namespace tcdm

@@ -1,0 +1,29 @@
+// DotP kernel (paper §IV-1): dot product of two n-element fp32 vectors,
+// arithmetic intensity 0.25 FLOP/B. Every hart reduces an n/NPE slice with
+// chained vfmacc accumulation (2x unrolled, two accumulator groups), stores
+// its partial to memory, and hart 0 combines the partials after a barrier.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class DotpKernel final : public Kernel {
+ public:
+  explicit DotpKernel(unsigned n, std::uint64_t seed = 1);
+
+  [[nodiscard]] std::string name() const override { return "dotp"; }
+  [[nodiscard]] std::string size_desc() const override { return std::to_string(n_); }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned n_;
+  std::uint64_t seed_;
+  Addr result_addr_ = 0;
+  float expected_ = 0.0f;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,506 @@
+#include "src/kernels/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/common/bitutil.hpp"
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+FftKernel::FftKernel(unsigned instances, unsigned n, std::uint64_t seed)
+    : k_(instances), n_(n), seed_(seed) {
+  if (!is_pow2(k_) || !is_pow2(n_) || n_ < 4) {
+    throw std::invalid_argument("fft: instances and n must be powers of two, n >= 4");
+  }
+}
+
+void FftKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned nharts = cfg.num_cores();
+  if (nharts % k_ != 0) {
+    throw std::invalid_argument("fft: instance count must divide the hart count");
+  }
+  const unsigned cores_per_inst = nharts / k_;  // P
+  const unsigned nb = n_ / 2;                   // butterflies per stage
+  if (nb % cores_per_inst != 0 || n_ % cores_per_inst != 0) {
+    throw std::invalid_argument("fft: n/2 must be divisible by cores per instance");
+  }
+  const unsigned stages = log2_exact(n_);
+  const unsigned per_core_bf = nb / cores_per_inst;
+  const unsigned per_core_n = n_ / cores_per_inst;
+
+  // ---- memory layout: flat [instance][element] blocks ----
+  MemLayout mem(cluster.map());
+  const std::size_t kn = static_cast<std::size_t>(k_) * n_;
+  const Addr re0 = mem.alloc_words(kn);
+  const Addr im0 = mem.alloc_words(kn);
+  out_re_ = mem.alloc_words(kn);
+  out_im_ = mem.alloc_words(kn);
+  const Addr twr0 = mem.alloc_words(kn);  // n-1 words used per instance
+  const Addr twi0 = mem.alloc_words(kn);
+  const Addr idx0 = mem.alloc_words(kn);
+
+  // ---- input data + golden model ----
+  Xoshiro128 rng(seed_);
+  std::vector<float> re(kn), im(kn);
+  for (float& v : re) v = rng.next_f32(-1.0f, 1.0f);
+  for (float& v : im) v = rng.next_f32(-1.0f, 1.0f);
+  cluster.write_block_f32(re0, re);
+  cluster.write_block_f32(im0, im);
+  expected_re_ = re;
+  expected_im_ = im;
+  for (unsigned q = 0; q < k_; ++q) {
+    golden::fft(std::span<float>(expected_re_).subspan(q * n_, n_),
+                std::span<float>(expected_im_).subspan(q * n_, n_));
+  }
+
+  // ---- per-stage twiddle tables (shared layout, one copy per instance) ----
+  // DIF stage s has half = n >> (s+1); twiddle j is exp(-2*pi*i*j / (2*half)).
+  std::vector<float> twr(n_, 0.0f), twi(n_, 0.0f);
+  std::vector<unsigned> tw_off(stages, 0);
+  {
+    unsigned off = 0;
+    for (unsigned s = 0; s < stages; ++s) {
+      const unsigned half = n_ >> (s + 1);
+      tw_off[s] = off;
+      for (unsigned j = 0; j < half; ++j) {
+        const double ang =
+            -2.0 * std::numbers::pi * static_cast<double>(j) / (2.0 * half);
+        twr[off + j] = static_cast<float>(std::cos(ang));
+        twi[off + j] = static_cast<float>(std::sin(ang));
+      }
+      off += half;
+    }
+  }
+  std::vector<Word> idx(n_);
+  const unsigned bits = log2_exact(n_);
+  for (unsigned i = 0; i < n_; ++i) idx[i] = bit_reverse(i, bits) * kWordBytes;
+  for (unsigned q = 0; q < k_; ++q) {
+    cluster.write_block_f32(twr0 + q * n_ * kWordBytes, twr);
+    cluster.write_block_f32(twi0 + q * n_ * kWordBytes, twi);
+    cluster.write_block(idx0 + q * n_ * kWordBytes, idx);
+  }
+
+  // ---- program ----
+  // Persistent registers: s2=q, s3=lcore, s4=instance byte offset,
+  // s5=re base, s6=im base, a2=twr base, a3=twi base,
+  // s7/s8 = per-core single-stage butterfly range.
+  ProgramBuilder pb("fft");
+  // Vector register plan (all LMUL m2):
+  //   A v0/v2, B v4/v6, C v8/v10, D v12/v14  (re/im pairs)
+  //   t1 v16/v18, t2 v20/v22                 (butterfly differences)
+  //   w  v24/v26, w' v28/v30                 (twiddles / scratch)
+  const VReg Ar{0}, Ai{2}, Br{4}, Bi{6}, Cr{8}, Ci{10}, Dr{12}, Di{14};
+  const VReg t1r{16}, t1i{18}, t2r{20}, t2i{22};
+  const VReg w0r{24}, w0i{26}, w1r{28}, w1i{30};
+
+  pb.srli(s2, a0, log2_exact(cores_per_inst));                     // q
+  pb.andi(s3, a0, static_cast<std::int32_t>(cores_per_inst - 1));  // lcore
+  pb.li(t0, static_cast<std::int32_t>(n_ * kWordBytes));
+  pb.mul(s4, s2, t0);  // instance byte offset
+  pb.li(s5, static_cast<std::int32_t>(re0));
+  pb.add(s5, s5, s4);
+  pb.li(s6, static_cast<std::int32_t>(im0));
+  pb.add(s6, s6, s4);
+  pb.li(a2, static_cast<std::int32_t>(twr0));
+  pb.add(a2, a2, s4);
+  pb.li(a3, static_cast<std::int32_t>(twi0));
+  pb.add(a3, a3, s4);
+  pb.li(t1, static_cast<std::int32_t>(per_core_bf));
+  pb.mul(s7, s3, t1);  // single-stage butterfly range [s7, s8)
+  pb.add(s8, s7, t1);
+
+  const unsigned vlmax = cfg.vlen_bits / 32 * 2;  // m2
+
+  // One complex butterfly step on register pairs:
+  //   t = u - v; u = u + v; v = t * w      (w in wre/wim vector regs)
+  const auto butterfly_vv = [&](VReg ur, VReg ui, VReg vr, VReg vi, VReg tr, VReg ti,
+                                VReg wre, VReg wim) {
+    pb.vfsub_vv(tr, ur, vr);
+    pb.vfsub_vv(ti, ui, vi);
+    pb.vfadd_vv(ur, ur, vr);
+    pb.vfadd_vv(ui, ui, vi);
+    pb.vfmul_vv(vr, tr, wre);
+    pb.vfnmsac_vv(vr, ti, wim);
+    pb.vfmul_vv(vi, tr, wim);
+    pb.vfmacc_vv(vi, ti, wre);
+  };
+  // Same with a scalar complex twiddle (fw_re, fw_im) and a vector scratch.
+  const auto butterfly_vf = [&](VReg ur, VReg ui, VReg vr, VReg vi, VReg tr, VReg ti,
+                                FReg fwr, FReg fwi, VReg scratch) {
+    pb.vfsub_vv(tr, ur, vr);
+    pb.vfsub_vv(ti, ui, vi);
+    pb.vfadd_vv(ur, ur, vr);
+    pb.vfadd_vv(ui, ui, vi);
+    pb.vfmul_vf(vr, fwr, tr);
+    pb.vfmul_vf(scratch, fwi, ti);
+    pb.vfsub_vv(vr, vr, scratch);
+    pb.vfmul_vf(vi, fwi, tr);
+    pb.vfmacc_vf(vi, fwr, ti);
+  };
+
+  // ---------------------------------------------------------------------
+  // Fused pair of DIF stages (s, s+1): load A/B/C/D once, run 4 butterflies
+  // in registers, store once — halving the memory traffic of two separate
+  // radix-2 passes (this is what positions the kernel near the paper's
+  // 0.47 FLOP/B arithmetic intensity).
+  // ---------------------------------------------------------------------
+  const auto emit_fused_unit = [&](unsigned s) {
+    const unsigned half = n_ >> (s + 1);
+    const unsigned h = log2_exact(half);
+    const unsigned h2 = half / 2;
+    const std::int32_t tw_s = static_cast<std::int32_t>(tw_off[s] * kWordBytes);
+    const std::int32_t tw_s1 = static_cast<std::int32_t>(tw_off[s + 1] * kWordBytes);
+    const std::int32_t h2b = static_cast<std::int32_t>(h2 * kWordBytes);
+    const std::int32_t halfb = static_cast<std::int32_t>(half * kWordBytes);
+    const unsigned slots_per_core = (n_ / 4) / cores_per_inst;
+
+    pb.li(t1, static_cast<std::int32_t>(slots_per_core));
+    pb.mul(t2, s3, t1);  // slot cursor
+    pb.add(s9, t2, t1);  // slot range end
+    Label loop = pb.make_label();
+    pb.bind(loop);
+    pb.srli(t3, t2, log2_exact(h2));                      // block
+    pb.andi(t4, t2, static_cast<std::int32_t>(h2 - 1));   // j
+    // chunk = min(h2 - j, end - slot)
+    pb.li(t5, static_cast<std::int32_t>(h2));
+    pb.sub(t5, t5, t4);
+    pb.sub(t6, s9, t2);
+    Label chunk_ok = pb.make_label();
+    pb.bgeu(t6, t5, chunk_ok);
+    pb.mv(t5, t6);
+    pb.bind(chunk_ok);
+    pb.vsetvli(a4, t5, Lmul::m2);
+    // A offset = (block*2*half + j) * 4.
+    pb.slli(a5, t3, h + 1);
+    pb.add(a5, a5, t4);
+    pb.slli(a5, a5, 2);
+    pb.add(a6, s5, a5);  // re[A] ptr
+    pb.add(a7, s6, a5);  // im[A] ptr
+    pb.slli(t3, t4, 2);  // j*4 for twiddle addressing
+    // Loads ordered so each butterfly's operands arrive just before use
+    // (chaining lets the first butterfly start while B/D still stream in).
+    pb.add(t6, a2, t3);
+    pb.addi(t6, t6, tw_s);
+    pb.vle32(w0r, t6);  // w1a = tw_s[j]
+    pb.add(t6, a3, t3);
+    pb.addi(t6, t6, tw_s);
+    pb.vle32(w0i, t6);
+    pb.vle32(Ar, a6);
+    pb.vle32(Ai, a7);
+    pb.addi(t6, a6, halfb);
+    pb.vle32(Cr, t6);
+    pb.addi(t6, a7, halfb);
+    pb.vle32(Ci, t6);
+    butterfly_vv(Ar, Ai, Cr, Ci, t1r, t1i, w0r, w0i);
+    pb.add(t6, a2, t3);
+    pb.addi(t6, t6, tw_s + h2b);
+    pb.vle32(w1r, t6);  // w1b = tw_s[j+h2]
+    pb.add(t6, a3, t3);
+    pb.addi(t6, t6, tw_s + h2b);
+    pb.vle32(w1i, t6);
+    pb.addi(t6, a6, h2b);
+    pb.vle32(Br, t6);
+    pb.addi(t6, a7, h2b);
+    pb.vle32(Bi, t6);
+    pb.addi(t6, a6, halfb + h2b);
+    pb.vle32(Dr, t6);
+    pb.addi(t6, a7, halfb + h2b);
+    pb.vle32(Di, t6);
+    butterfly_vv(Br, Bi, Dr, Di, t2r, t2i, w1r, w1i);
+    // Stage s+1 twiddle w2 = tw_{s+1}[j].
+    pb.add(t6, a2, t3);
+    pb.addi(t6, t6, tw_s1);
+    pb.vle32(w0r, t6);
+    pb.add(t6, a3, t3);
+    pb.addi(t6, t6, tw_s1);
+    pb.vle32(w0i, t6);
+    butterfly_vv(Ar, Ai, Br, Bi, t1r, t1i, w0r, w0i);
+    // Store the finalized A/B halves while (C,D) still compute.
+    pb.vse32(Ar, a6);
+    pb.vse32(Ai, a7);
+    pb.addi(t6, a6, h2b);
+    pb.vse32(Br, t6);
+    pb.addi(t6, a7, h2b);
+    pb.vse32(Bi, t6);
+    butterfly_vv(Cr, Ci, Dr, Di, t2r, t2i, w0r, w0i);
+    pb.addi(t6, a6, halfb);
+    pb.vse32(Cr, t6);
+    pb.addi(t6, a7, halfb);
+    pb.vse32(Ci, t6);
+    pb.addi(t6, a6, halfb + h2b);
+    pb.vse32(Dr, t6);
+    pb.addi(t6, a7, halfb + h2b);
+    pb.vse32(Di, t6);
+    pb.add(t2, t2, a4);
+    pb.bltu(t2, s9, loop);
+    pb.barrier();
+  };
+
+  // Fused pair, vectorized ACROSS blocks (strided, scalar twiddles) for the
+  // short-half tail stages. Strided traffic never bursts — the realistic
+  // cost of the late FFT stages.
+  const auto emit_fused_strided = [&](unsigned s, unsigned blocks_per_core) {
+    const unsigned half = n_ >> (s + 1);
+    const unsigned h = log2_exact(half);
+    const unsigned h2 = half / 2;
+    const std::int32_t tw_s = static_cast<std::int32_t>(tw_off[s] * kWordBytes);
+    const std::int32_t tw_s1 = static_cast<std::int32_t>(tw_off[s + 1] * kWordBytes);
+    const std::int32_t h2b = static_cast<std::int32_t>(h2 * kWordBytes);
+    const std::int32_t halfb = static_cast<std::int32_t>(half * kWordBytes);
+
+    pb.li(s1, static_cast<std::int32_t>(2 * half * kWordBytes));  // element stride
+    pb.li(t1, static_cast<std::int32_t>(blocks_per_core));
+    pb.mul(s0, s3, t1);  // first owned block
+    pb.add(t5, s0, t1);  // block range end
+    pb.li(t1, static_cast<std::int32_t>(h2));
+    pb.li(a5, 0);  // j
+    Label jloop = pb.make_label();
+    pb.bind(jloop);
+    // Six scalar twiddle words: w1a, w1b, w2.
+    pb.slli(t4, a5, 2);
+    pb.add(t6, t4, a2);
+    pb.flw(ft1, t6, tw_s);            // w1a.re
+    pb.flw(ft3, t6, tw_s + h2b);      // w1b.re
+    pb.flw(ft5, t6, tw_s1 - 0);       // w2.re (tw_{s+1}[j])
+    pb.add(t6, t4, a3);
+    pb.flw(ft2, t6, tw_s);            // w1a.im
+    pb.flw(ft4, t6, tw_s + h2b);      // w1b.im
+    pb.flw(ft6, t6, tw_s1 - 0);       // w2.im
+    pb.mv(t2, s0);                    // block cursor
+    Label bloop = pb.make_label();
+    pb.bind(bloop);
+    pb.sub(t3, t5, t2);
+    pb.vsetvli(a4, t3, Lmul::m2);
+    // A byte offset = block * 2*half*4 + j*4.
+    pb.slli(t6, t2, h + 3);
+    pb.slli(t4, a5, 2);
+    pb.add(t6, t6, t4);
+    pb.add(a6, s5, t6);  // re[A] ptr
+    pb.add(a7, s6, t6);  // im[A] ptr
+    pb.vlse32(Ar, a6, s1);
+    pb.vlse32(Ai, a7, s1);
+    pb.addi(t6, a6, h2b);
+    pb.vlse32(Br, t6, s1);
+    pb.addi(t6, a7, h2b);
+    pb.vlse32(Bi, t6, s1);
+    pb.addi(t6, a6, halfb);
+    pb.vlse32(Cr, t6, s1);
+    pb.addi(t6, a7, halfb);
+    pb.vlse32(Ci, t6, s1);
+    pb.addi(t6, a6, halfb + h2b);
+    pb.vlse32(Dr, t6, s1);
+    pb.addi(t6, a7, halfb + h2b);
+    pb.vlse32(Di, t6, s1);
+    butterfly_vf(Ar, Ai, Cr, Ci, t1r, t1i, ft1, ft2, w0r);
+    butterfly_vf(Br, Bi, Dr, Di, t2r, t2i, ft3, ft4, w1r);
+    butterfly_vf(Ar, Ai, Br, Bi, t1r, t1i, ft5, ft6, w0r);
+    butterfly_vf(Cr, Ci, Dr, Di, t2r, t2i, ft5, ft6, w1r);
+    pb.vsse32(Ar, a6, s1);
+    pb.vsse32(Ai, a7, s1);
+    pb.addi(t6, a6, h2b);
+    pb.vsse32(Br, t6, s1);
+    pb.addi(t6, a7, h2b);
+    pb.vsse32(Bi, t6, s1);
+    pb.addi(t6, a6, halfb);
+    pb.vsse32(Cr, t6, s1);
+    pb.addi(t6, a7, halfb);
+    pb.vsse32(Ci, t6, s1);
+    pb.addi(t6, a6, halfb + h2b);
+    pb.vsse32(Dr, t6, s1);
+    pb.addi(t6, a7, halfb + h2b);
+    pb.vsse32(Di, t6, s1);
+    pb.add(t2, t2, a4);  // block += vl
+    pb.bltu(t2, t5, bloop);
+    pb.addi(a5, a5, 1);
+    pb.blt(a5, t1, jloop);
+    pb.barrier();
+  };
+
+  // Single DIF stage, unit-stride over j within blocks (vector twiddles).
+  const auto emit_single_unit = [&](unsigned s) {
+    const unsigned half = n_ >> (s + 1);
+    const unsigned h = log2_exact(half);
+    const std::int32_t twoff = static_cast<std::int32_t>(tw_off[s] * kWordBytes);
+    const std::int32_t half_bytes = static_cast<std::int32_t>(half * kWordBytes);
+
+    pb.mv(t2, s7);  // butterfly cursor
+    Label loop = pb.make_label();
+    pb.bind(loop);
+    pb.srli(t3, t2, h);                                    // block
+    pb.andi(t4, t2, static_cast<std::int32_t>(half - 1));  // j
+    pb.li(t5, static_cast<std::int32_t>(half));
+    pb.sub(t5, t5, t4);
+    pb.sub(t6, s8, t2);
+    Label chunk_ok = pb.make_label();
+    pb.bgeu(t6, t5, chunk_ok);
+    pb.mv(t5, t6);
+    pb.bind(chunk_ok);
+    pb.vsetvli(a4, t5, Lmul::m2);
+    pb.slli(a5, t3, h + 1);
+    pb.add(a5, a5, t4);
+    pb.slli(a5, a5, 2);
+    pb.add(a6, s5, a5);  // re[u] ptr
+    pb.add(a7, s6, a5);  // im[u] ptr
+    pb.slli(t3, t4, 2);
+    pb.add(t6, t3, a2);
+    pb.addi(t6, t6, twoff);
+    pb.vle32(w0r, t6);
+    pb.add(t6, t3, a3);
+    pb.addi(t6, t6, twoff);
+    pb.vle32(w0i, t6);
+    pb.vle32(Ar, a6);
+    pb.vle32(Ai, a7);
+    pb.addi(t6, a6, half_bytes);
+    pb.vle32(Cr, t6);
+    pb.addi(t6, a7, half_bytes);
+    pb.vle32(Ci, t6);
+    butterfly_vv(Ar, Ai, Cr, Ci, t1r, t1i, w0r, w0i);
+    pb.vse32(Ar, a6);
+    pb.vse32(Ai, a7);
+    pb.addi(t6, a6, half_bytes);
+    pb.vse32(Cr, t6);
+    pb.addi(t6, a7, half_bytes);
+    pb.vse32(Ci, t6);
+    pb.add(t2, t2, a4);
+    pb.bltu(t2, s8, loop);
+    pb.barrier();
+  };
+
+  // Single DIF stage, vectorized across blocks (strided, scalar twiddles).
+  const auto emit_single_strided = [&](unsigned s, unsigned blocks_per_core) {
+    const unsigned half = n_ >> (s + 1);
+    const unsigned h = log2_exact(half);
+    const std::int32_t twoff = static_cast<std::int32_t>(tw_off[s] * kWordBytes);
+    const std::int32_t half_bytes = static_cast<std::int32_t>(half * kWordBytes);
+
+    pb.li(s1, static_cast<std::int32_t>(2 * half * kWordBytes));
+    pb.li(t1, static_cast<std::int32_t>(blocks_per_core));
+    pb.mul(s0, s3, t1);
+    pb.add(t5, s0, t1);
+    pb.li(t1, static_cast<std::int32_t>(half));
+    pb.li(a5, 0);  // j
+    Label jloop = pb.make_label();
+    pb.bind(jloop);
+    pb.slli(t4, a5, 2);
+    pb.add(t6, t4, a2);
+    pb.flw(ft1, t6, twoff);  // wr
+    pb.add(t6, t4, a3);
+    pb.flw(ft2, t6, twoff);  // wi
+    pb.mv(t2, s0);
+    Label bloop = pb.make_label();
+    pb.bind(bloop);
+    pb.sub(t3, t5, t2);
+    pb.vsetvli(a4, t3, Lmul::m2);
+    pb.slli(t6, t2, h + 3);
+    pb.slli(t4, a5, 2);
+    pb.add(t6, t6, t4);
+    pb.add(a6, s5, t6);
+    pb.add(a7, s6, t6);
+    pb.vlse32(Ar, a6, s1);
+    pb.vlse32(Ai, a7, s1);
+    pb.addi(t6, a6, half_bytes);
+    pb.vlse32(Cr, t6, s1);
+    pb.addi(t6, a7, half_bytes);
+    pb.vlse32(Ci, t6, s1);
+    butterfly_vf(Ar, Ai, Cr, Ci, t1r, t1i, ft1, ft2, w0r);
+    pb.vsse32(Ar, a6, s1);
+    pb.vsse32(Ai, a7, s1);
+    pb.addi(t6, a6, half_bytes);
+    pb.vsse32(Cr, t6, s1);
+    pb.addi(t6, a7, half_bytes);
+    pb.vsse32(Ci, t6, s1);
+    pb.add(t2, t2, a4);
+    pb.bltu(t2, t5, bloop);
+    pb.addi(a5, a5, 1);
+    pb.blt(a5, t1, jloop);
+    pb.barrier();
+  };
+
+  // Stage schedule: fuse pairs while both shapes keep useful vector lengths;
+  // fall back to the best single-stage shape otherwise.
+  unsigned s = 0;
+  while (s < stages) {
+    if (s + 1 < stages) {
+      const unsigned half = n_ >> (s + 1);
+      const unsigned h2 = half / 2;
+      const unsigned nblocks = n_ / (2 * half);
+      const unsigned slots = n_ / 4;
+      const bool unit_ok = slots % cores_per_inst == 0 && h2 >= 1;
+      const unsigned unit_vl = unit_ok ? std::min(vlmax, h2) : 0;
+      const unsigned bpc =
+          nblocks % cores_per_inst == 0 ? nblocks / cores_per_inst : 0;
+      const unsigned strided_vl = std::min(vlmax, bpc);
+      if (unit_vl >= strided_vl && unit_vl > 0) {
+        emit_fused_unit(s);
+        s += 2;
+        continue;
+      }
+      if (strided_vl > 0) {
+        emit_fused_strided(s, bpc);
+        s += 2;
+        continue;
+      }
+    }
+    // Single tail stage (odd stage count or tiny geometry).
+    const unsigned half = n_ >> (s + 1);
+    const unsigned nblocks = n_ / (2 * half);
+    const unsigned bpc =
+        nblocks % cores_per_inst == 0 ? nblocks / cores_per_inst : 0;
+    const unsigned unit_vl = std::min(vlmax, half);
+    const unsigned strided_vl = std::min(vlmax, bpc);
+    if (strided_vl > unit_vl) {
+      emit_single_strided(s, bpc);
+    } else {
+      emit_single_unit(s);
+    }
+    ++s;
+  }
+
+  // ---- bit-reversal reorder: out[i] = x[rev(i)] via indexed gathers ----
+  pb.li(t0, static_cast<std::int32_t>(per_core_n));
+  pb.mul(t2, s3, t0);  // i = lcore * per_core_n
+  pb.add(s0, t2, t0);  // end
+  pb.li(a2, static_cast<std::int32_t>(idx0));
+  pb.add(a2, a2, s4);
+  pb.li(a3, static_cast<std::int32_t>(out_re_));
+  pb.add(a3, a3, s4);
+  pb.li(a4, static_cast<std::int32_t>(out_im_));
+  pb.add(a4, a4, s4);
+  Label rloop = pb.make_label();
+  pb.bind(rloop);
+  pb.sub(t3, s0, t2);
+  pb.vsetvli(a5, t3, Lmul::m2);
+  pb.slli(t4, t2, 2);
+  pb.add(t5, a2, t4);
+  pb.vle32(w0r, t5);           // index vector
+  pb.vluxei32(Ar, s5, w0r);    // gather re
+  pb.vluxei32(Ai, s6, w0r);    // gather im
+  pb.add(t6, a3, t4);
+  pb.vse32(Ar, t6);
+  pb.add(t6, a4, t4);
+  pb.vse32(Ai, t6);
+  pb.add(t2, t2, a5);
+  pb.bltu(t2, s0, rloop);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool FftKernel::verify(const Cluster& cluster) const {
+  const std::size_t kn = static_cast<std::size_t>(k_) * n_;
+  const std::vector<float> re = cluster.read_block_f32(out_re_, kn);
+  const std::vector<float> im = cluster.read_block_f32(out_im_, kn);
+  // fp32 butterfly chains accumulate error ~ sqrt(log n); magnitudes grow to
+  // ~sqrt(n), so compare with a scaled absolute tolerance.
+  const float abs_tol = 2e-3f * std::sqrt(static_cast<float>(n_));
+  return golden::all_close(re, expected_re_, 1e-2f, abs_tol) &&
+         golden::all_close(im, expected_im_, 1e-2f, abs_tol);
+}
+
+}  // namespace tcdm

@@ -1,0 +1,42 @@
+// FFT kernel (paper §IV-2): k independent n-point single-precision complex
+// FFTs run in parallel, each instance on NPE/k cores (Cooley-Tukey radix-2,
+// as in the paper).
+//
+// Implementation: decimation-in-frequency over split re/im arrays with
+// per-stage precomputed twiddle tables (unit-stride vector loads), a global
+// barrier between stages, and a final bit-reversal pass using vluxei32
+// gathers (indexed accesses never burst — the realistic cost of the
+// reorder). Stage constants (half, strides, twiddle offsets) are baked into
+// the program, one code block per stage.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class FftKernel final : public Kernel {
+ public:
+  /// `instances` independent FFTs of `n` points; requires instances to
+  /// divide the hart count and n/2 divisible by the per-instance core count.
+  FftKernel(unsigned instances, unsigned n, std::uint64_t seed = 4);
+
+  [[nodiscard]] std::string name() const override { return "fft"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(k_) + "x" + std::to_string(n_);
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned k_;
+  unsigned n_;
+  std::uint64_t seed_;
+  Addr out_re_ = 0;
+  Addr out_im_ = 0;
+  std::vector<float> expected_re_;
+  std::vector<float> expected_im_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,124 @@
+#include "src/kernels/gemv.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+GemvKernel::GemvKernel(unsigned m, unsigned n, unsigned row_block, std::uint64_t seed)
+    : m_(m), n_(n), r_(row_block), seed_(seed) {
+  if (r_ == 0 || r_ > 4) {
+    throw std::invalid_argument("gemv: row_block must be in 1..4");
+  }
+  if (m_ % r_ != 0) {
+    throw std::invalid_argument("gemv: m must be divisible by row_block");
+  }
+}
+
+void GemvKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned nblocks = m_ / r_;
+  const unsigned vlmax = cfg.vlen_bits / 32 * 2;  // LMUL m2
+
+  MemLayout mem(cluster.map());
+  const Addr a_base = mem.alloc_words(static_cast<std::size_t>(m_) * n_);
+  const Addr x_base = mem.alloc_words(n_);
+  y_base_ = mem.alloc_words(m_);
+
+  // Positive operands: row reductions stay away from cancellation so the
+  // relative verify tolerance is meaningful (same rationale as DotP).
+  Xoshiro128 rng(seed_);
+  std::vector<float> a(static_cast<std::size_t>(m_) * n_), x(n_);
+  for (float& v : a) v = rng.next_f32(0.0f, 1.0f);
+  for (float& v : x) v = rng.next_f32(0.0f, 1.0f);
+  cluster.write_block_f32(a_base, a);
+  cluster.write_block_f32(x_base, x);
+  expected_.assign(m_, 0.0f);
+  golden::gemv(a, x, expected_, m_, n_);
+
+  // Register map (LMUL m2 => even vector registers, 16 groups):
+  //   acc_r = v0,v2,v4,v6   A-row slices = v8,v10,v12,v14
+  //   x slice = v16         reduction scratch = v18
+  const VReg vx{16}, vred{18};
+  const auto acc = [](unsigned r) { return VReg{static_cast<std::uint8_t>(2 * r)}; };
+  const auto var = [](unsigned r) { return VReg{static_cast<std::uint8_t>(8 + 2 * r)}; };
+
+  ProgramBuilder pb("gemv");
+  pb.li(s2, static_cast<std::int32_t>(a_base));
+  pb.li(s3, static_cast<std::int32_t>(x_base));
+  pb.li(s4, static_cast<std::int32_t>(y_base_));
+  pb.li(s5, static_cast<std::int32_t>(nblocks));
+  pb.mv(s6, a0);                                      // b = hartid
+  pb.li(s7, static_cast<std::int32_t>(r_ * kWordBytes));  // y-block stride
+  pb.li(s8, static_cast<std::int32_t>(n_ * kWordBytes));  // A row stride
+  pb.fmv_w_x(ft0, x0);                                // 0.0f
+
+  Label outer = pb.make_label();
+  Label done = pb.make_label();
+  pb.bind(outer);
+  pb.bge(s6, s5, done);
+
+  // A block base: a_base + b * R * row_stride.
+  pb.li(t0, static_cast<std::int32_t>(r_));
+  pb.mul(t1, s6, t0);
+  pb.mul(t1, t1, s8);
+  pb.add(t1, t1, s2);
+  pb.mv(t2, s3);                           // x cursor
+  pb.li(s0, static_cast<std::int32_t>(n_));  // remaining columns
+
+  pb.li(t3, static_cast<std::int32_t>(vlmax));
+  pb.vsetvli(t4, t3, Lmul::m2);
+  for (unsigned r = 0; r < r_; ++r) pb.vfmv_v_f(acc(r), ft0);
+
+  // Column strip-mine: one x load shared by R row FMAs.
+  Label col = pb.make_label();
+  Label colfin = pb.make_label();
+  pb.bind(col);
+  pb.beqz(s0, colfin);
+  pb.vsetvli(t4, s0, Lmul::m2);
+  pb.vle32(vx, t2);
+  pb.mv(t5, t1);
+  for (unsigned r = 0; r < r_; ++r) {
+    pb.vle32(var(r), t5);
+    pb.vfmacc_vv(acc(r), var(r), vx);
+    if (r + 1 < r_) pb.add(t5, t5, s8);
+  }
+  pb.slli(t3, t4, 2);
+  pb.add(t1, t1, t3);
+  pb.add(t2, t2, t3);
+  pb.sub(s0, s0, t4);
+  pb.j(col);
+
+  // Reduce each accumulator and store y[b*R + r].
+  pb.bind(colfin);
+  pb.mul(t6, s6, s7);
+  pb.add(t6, t6, s4);
+  for (unsigned r = 0; r < r_; ++r) {
+    pb.li(t3, static_cast<std::int32_t>(vlmax));
+    pb.vsetvli(t4, t3, Lmul::m2);
+    pb.vfmv_v_f(vred, ft0);
+    pb.vfredusum(vred, acc(r), vred);
+    pb.li(t3, 1);
+    pb.vsetvli(t4, t3, Lmul::m1);
+    pb.addi(t5, t6, static_cast<std::int32_t>(r * kWordBytes));
+    pb.vse32(vred, t5);
+  }
+
+  pb.add(s6, s6, a1);  // next block: b += nharts
+  pb.j(outer);
+
+  pb.bind(done);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool GemvKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual = cluster.read_block_f32(y_base_, m_);
+  return golden::all_close(actual, expected_, 1e-3f, 1e-3f);
+}
+
+}  // namespace tcdm

@@ -1,0 +1,38 @@
+// GEMV kernel: y = A * x on an m x n fp32 matrix (extension workload beyond
+// the paper's three kernels; same fork-join structure).
+//
+// Row-blocked: each work unit computes R consecutive rows of y, sharing one
+// unit-stride load of the x slice against R unit-stride loads of A row
+// slices (all burst-eligible). Arithmetic intensity 2R/(4(R+1)) FLOP/B sits
+// between DotP (0.25) and the small MatMuls (~1.5), filling the roofline's
+// memory-bound region with one more measured point.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class GemvKernel final : public Kernel {
+ public:
+  /// `row_block` R in {1..4}; requires m % R == 0 and m/R >= 1 work units.
+  GemvKernel(unsigned m, unsigned n, unsigned row_block = 4, std::uint64_t seed = 11);
+
+  [[nodiscard]] std::string name() const override { return "gemv"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(m_) + "x" + std::to_string(n_);
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned m_;
+  unsigned n_;
+  unsigned r_;
+  std::uint64_t seed_;
+  Addr y_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,53 @@
+// Host-side golden reference implementations. Every simulated kernel is
+// verified bit-for-bit (integer paths) or to a relative tolerance (float
+// accumulation order differs) against these.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tcdm::golden {
+
+[[nodiscard]] float dotp(std::span<const float> a, std::span<const float> b);
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// C = A * B, row-major n x n single precision.
+void matmul(std::span<const float> a, std::span<const float> b, std::span<float> c,
+            std::size_t n);
+
+/// In-place radix-2 DIT complex FFT over split re/im arrays (n a power of 2).
+void fft(std::span<float> re, std::span<float> im);
+
+/// y = A * x, A row-major m x n single precision.
+void gemv(std::span<const float> a, std::span<const float> x, std::span<float> y,
+          std::size_t m, std::size_t n);
+
+/// Valid 3x3 convolution: `out` is (h-2) x (w-2), `in` is h x w row-major,
+/// `k` the 3x3 kernel in row-major order.
+void conv2d_3x3(std::span<const float> in, std::span<const float> k, std::span<float> out,
+                std::size_t h, std::size_t w);
+
+/// One 5-point Jacobi sweep over the interior of an h x w grid:
+/// out[i][j] = 0.25 * (in[i-1][j] + in[i+1][j] + in[i][j-1] + in[i][j+1]).
+/// Border rows/columns of `out` are copied from `in`.
+void jacobi2d(std::span<const float> in, std::span<float> out, std::size_t h, std::size_t w);
+
+/// B = A^T for an n x n row-major matrix.
+void transpose(std::span<const float> a, std::span<float> b, std::size_t n);
+
+/// y[i] = max(x[i], 0).
+void relu(std::span<const float> x, std::span<float> y);
+
+/// 2x2 max pooling with stride 2: `out` is (h/2) x (w/2), h and w even.
+void maxpool2x2(std::span<const float> in, std::span<float> out, std::size_t h,
+                std::size_t w);
+
+/// Relative-error comparison suitable for large float reductions.
+[[nodiscard]] bool close(float actual, float expected, float rel_tol = 1e-3f,
+                         float abs_tol = 1e-4f);
+[[nodiscard]] bool all_close(std::span<const float> actual, std::span<const float> expected,
+                             float rel_tol = 1e-3f, float abs_tol = 1e-4f);
+
+}  // namespace tcdm::golden

@@ -1,0 +1,123 @@
+#include "src/kernels/matmul.hpp"
+
+#include <stdexcept>
+
+#include "src/common/bitutil.hpp"
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+MatmulKernel::MatmulKernel(unsigned n, unsigned row_block, std::uint64_t seed)
+    : n_(n), r_(row_block), seed_(seed) {
+  if (r_ < 1 || r_ > 8) throw std::invalid_argument("matmul: row_block must be 1..8");
+}
+
+void MatmulKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned vl = cfg.vlen_bits / 32 * 2;  // LMUL m2 strip width
+  if (n_ % r_ != 0 || n_ % 2 != 0) {
+    throw std::invalid_argument("matmul: n must be even and divisible by row_block");
+  }
+  if (n_ % vl != 0 || !is_pow2(n_ / vl)) {
+    throw std::invalid_argument("matmul: n must be a power-of-two multiple of the m2 vl");
+  }
+  const unsigned blocks = n_ / r_;
+  const unsigned jstrips = n_ / vl;
+  const unsigned total_units = blocks * jstrips;
+
+  MemLayout mem(cluster.map());
+  const Addr a_base = mem.alloc_words(static_cast<std::size_t>(n_) * n_);
+  const Addr b_base = mem.alloc_words(static_cast<std::size_t>(n_) * n_);
+  c_base_ = mem.alloc_words(static_cast<std::size_t>(n_) * n_);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> a(static_cast<std::size_t>(n_) * n_);
+  std::vector<float> b(a.size());
+  for (float& v : a) v = rng.next_f32(-1.0f, 1.0f);
+  for (float& v : b) v = rng.next_f32(-1.0f, 1.0f);
+  cluster.write_block_f32(a_base, a);
+  cluster.write_block_f32(b_base, b);
+  expected_.assign(a.size(), 0.0f);
+  golden::matmul(a, b, expected_, n_);
+
+  const auto acc = [&](unsigned row) { return VReg{static_cast<std::uint8_t>(8 + 2 * row)}; };
+  const auto fA = [&](unsigned row, unsigned buf) {
+    return FReg{static_cast<std::uint8_t>(1 + row + buf * 8)};
+  };
+  const VReg vb0{0}, vb1{4};
+  const std::int32_t row_bytes = static_cast<std::int32_t>(n_ * kWordBytes);
+
+  ProgramBuilder pb("matmul");
+  pb.li(s0, static_cast<std::int32_t>(n_));
+  pb.li(s1, static_cast<std::int32_t>(total_units));
+  pb.li(s6, static_cast<std::int32_t>(b_base));
+  pb.fmv_w_x(ft0, x0);
+  pb.mv(s8, a0);  // work unit = hartid, striding by hart count
+
+  Label outer = pb.make_label();
+  Label end = pb.make_label();
+  pb.bind(outer);
+  pb.bge(s8, s1, end);
+  // Decompose the unit index: ib = u / jstrips, js = u % jstrips.
+  pb.srli(s2, s8, log2_exact(jstrips));
+  pb.andi(s9, s8, static_cast<std::int32_t>(jstrips - 1));
+  // Row-block bases.
+  pb.li(t0, static_cast<std::int32_t>(r_) * row_bytes);
+  pb.mul(t1, s2, t0);
+  pb.li(s3, static_cast<std::int32_t>(a_base));
+  pb.add(s3, s3, t1);
+  pb.li(s4, static_cast<std::int32_t>(c_base_));
+  pb.add(s4, s4, t1);
+  // Column strip: j*4 bytes.
+  pb.slli(t5, s9, log2_exact(vl) + 2);
+  // vl is exact for every strip (n % vl == 0).
+  pb.li(t2, static_cast<std::int32_t>(vl));
+  pb.vsetvli(t3, t2, Lmul::m2);
+  for (unsigned row = 0; row < r_; ++row) pb.vfmv_v_f(acc(row), ft0);
+  pb.add(t4, s6, t5);  // B ptr = b_base + j*4
+  pb.mv(t6, s3);       // A ptr (col 0)
+  pb.li(s7, 0);        // k
+
+  Label kloop = pb.make_label();
+  pb.bind(kloop);
+  // Two k iterations per pass, double-buffered through vb0/vb1.
+  for (unsigned row = 0; row < r_; ++row) {
+    pb.flw(fA(row, 0), t6, static_cast<std::int32_t>(row) * row_bytes);
+  }
+  pb.vle32(vb0, t4);
+  pb.addi(t4, t4, row_bytes);
+  for (unsigned row = 0; row < r_; ++row) {
+    pb.flw(fA(row, 1), t6, static_cast<std::int32_t>(row) * row_bytes + 4);
+  }
+  pb.vle32(vb1, t4);
+  pb.addi(t4, t4, row_bytes);
+  for (unsigned row = 0; row < r_; ++row) pb.vfmacc_vf(acc(row), fA(row, 0), vb0);
+  for (unsigned row = 0; row < r_; ++row) pb.vfmacc_vf(acc(row), fA(row, 1), vb1);
+  pb.addi(t6, t6, 8);
+  pb.addi(s7, s7, 2);
+  pb.blt(s7, s0, kloop);
+
+  // Store the R C-row slices.
+  pb.add(a2, s4, t5);
+  for (unsigned row = 0; row < r_; ++row) {
+    pb.vse32(acc(row), a2);
+    pb.addi(a2, a2, row_bytes);
+  }
+  pb.add(s8, s8, a1);
+  pb.j(outer);
+
+  pb.bind(end);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool MatmulKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual =
+      cluster.read_block_f32(c_base_, static_cast<std::size_t>(n_) * n_);
+  return golden::all_close(actual, expected_, 5e-3f, 5e-3f);
+}
+
+}  // namespace tcdm

@@ -1,0 +1,39 @@
+// MatMul kernel (paper §IV-3): C = A x B on n x n fp32 matrices.
+//
+// Register-blocked: each work unit computes an R-row, vl-column tile of C,
+// holding R accumulator groups in vector registers; the k-loop broadcasts
+// A elements (scalar flw + vfmacc.vf) against a shared vle32 of a B row
+// slice, double-buffered over two B registers (2x k-unroll). Work units
+// (row-block, column-strip) are distributed round-robin over the harts.
+// Larger R raises arithmetic intensity (fewer B reloads per FLOP), which is
+// how the paper's MatMul moves from memory-bound into compute-bound.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class MatmulKernel final : public Kernel {
+ public:
+  /// `row_block` R in {1..8}; requires n % R == 0, n even, and n divisible
+  /// by the m2 vector length of the target cluster.
+  MatmulKernel(unsigned n, unsigned row_block = 4, std::uint64_t seed = 3);
+
+  [[nodiscard]] std::string name() const override { return "matmul"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(n_) + "x" + std::to_string(n_) + "x" + std::to_string(n_);
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned n_;
+  unsigned r_;
+  std::uint64_t seed_;
+  Addr c_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

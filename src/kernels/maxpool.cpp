@@ -1,0 +1,97 @@
+#include "src/kernels/maxpool.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+MaxPoolKernel::MaxPoolKernel(unsigned h, unsigned w, std::uint64_t seed)
+    : h_(h), w_(w), seed_(seed) {
+  if (h_ < 2 || w_ < 2 || h_ % 2 != 0 || w_ % 2 != 0) {
+    throw std::invalid_argument("maxpool2x2: h and w must be even and >= 2");
+  }
+}
+
+void MaxPoolKernel::setup(Cluster& cluster) {
+  const unsigned ho = h_ / 2;
+  const unsigned wo = w_ / 2;
+
+  MemLayout mem(cluster.map());
+  const Addr in_base = mem.alloc_words(static_cast<std::size_t>(h_) * w_);
+  out_base_ = mem.alloc_words(static_cast<std::size_t>(ho) * wo);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> in(static_cast<std::size_t>(h_) * w_);
+  for (float& v : in) v = rng.next_f32(-10.0f, 10.0f);
+  cluster.write_block_f32(in_base, in);
+  expected_.assign(static_cast<std::size_t>(ho) * wo, 0.0f);
+  golden::maxpool2x2(in, expected_, h_, w_);
+
+  // LMUL m2: even/odd column lanes of the two input rows + the running max.
+  const VReg acc{0}, row1max{2}, ve_a{8}, vo_a{10}, ve_b{12}, vo_b{14};
+
+  ProgramBuilder pb("maxpool2x2");
+  pb.li(s2, static_cast<std::int32_t>(in_base));
+  pb.li(s3, static_cast<std::int32_t>(out_base_));
+  pb.li(s5, static_cast<std::int32_t>(ho));               // output row bound
+  pb.mv(s6, a0);                                          // i = hartid
+  pb.li(s7, static_cast<std::int32_t>(2 * kWordBytes));   // column stride (2 words)
+  pb.li(s8, static_cast<std::int32_t>(w_ * kWordBytes));  // input row stride
+  pb.li(s9, static_cast<std::int32_t>(wo * kWordBytes));  // output row stride
+
+  Label rowloop = pb.make_label();
+  Label done = pb.make_label();
+  pb.bind(rowloop);
+  pb.bge(s6, s5, done);
+
+  // Input cursor at row 2i, column 0; output cursor at row i.
+  pb.slli(t0, s6, 1);
+  pb.mul(t1, t0, s8);
+  pb.add(t1, t1, s2);  // &in[2i][0]
+  pb.mul(t2, s6, s9);
+  pb.add(t2, t2, s3);  // &out[i][0]
+  pb.li(s0, static_cast<std::int32_t>(wo));
+
+  Label col = pb.make_label();
+  Label colfin = pb.make_label();
+  pb.bind(col);
+  pb.beqz(s0, colfin);
+  pb.vsetvli(t4, s0, Lmul::m2);
+  pb.vlse32(ve_a, t1, s7);  // in[2i][0::2]
+  pb.addi(t5, t1, static_cast<std::int32_t>(kWordBytes));
+  pb.vlse32(vo_a, t5, s7);  // in[2i][1::2]
+  pb.vfmax_vv(acc, ve_a, vo_a);
+  pb.add(t6, t1, s8);
+  pb.vlse32(ve_b, t6, s7);  // in[2i+1][0::2]
+  pb.addi(t5, t6, static_cast<std::int32_t>(kWordBytes));
+  pb.vlse32(vo_b, t5, s7);  // in[2i+1][1::2]
+  pb.vfmax_vv(row1max, ve_b, vo_b);
+  pb.vfmax_vv(acc, acc, row1max);
+  pb.vse32(acc, t2);
+  // vl outputs consume 2*vl input words per row.
+  pb.slli(t3, t4, 3);
+  pb.add(t1, t1, t3);
+  pb.slli(t3, t4, 2);
+  pb.add(t2, t2, t3);
+  pb.sub(s0, s0, t4);
+  pb.j(col);
+
+  pb.bind(colfin);
+  pb.add(s6, s6, a1);  // i += nharts
+  pb.j(rowloop);
+
+  pb.bind(done);
+  pb.barrier();
+  pb.halt();
+  cluster.load_program(pb.build());
+}
+
+bool MaxPoolKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual = cluster.read_block_f32(out_base_, expected_.size());
+  // max() is exact: the result must match bit for bit.
+  return golden::all_close(actual, expected_, 0.0f, 0.0f);
+}
+
+}  // namespace tcdm

@@ -1,0 +1,35 @@
+// MaxPool2x2 kernel: stride-2 2x2 max pooling over an h x w fp32 feature
+// map (deep-learning motivation, like ReLU). Every output strip issues four
+// stride-2 vlse32 loads (even/odd columns of the two input rows) — traffic
+// that the paper's VLE-keyed design never bursts, but the strided-burst
+// extension coalesces pairwise (stride 2 < banks_per_tile). The showcase
+// "real kernel" for that extension; AI = 3/20 = 0.15 FLOP/B.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class MaxPoolKernel final : public Kernel {
+ public:
+  /// Requires h, w even and >= 2.
+  MaxPoolKernel(unsigned h, unsigned w, std::uint64_t seed = 16);
+
+  [[nodiscard]] std::string name() const override { return "maxpool2x2"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(h_) + "x" + std::to_string(w_);
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned h_;
+  unsigned w_;
+  std::uint64_t seed_;
+  Addr out_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

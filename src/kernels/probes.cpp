@@ -1,0 +1,281 @@
+#include "src/kernels/probes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+// ---------------------------------------------------------------- random --
+
+RandomProbeKernel::RandomProbeKernel(unsigned iters, Pattern pattern, std::uint64_t seed)
+    : iters_(iters), pattern_(pattern), seed_(seed) {
+  if (iters_ == 0 || iters_ % 8 != 0) {
+    throw std::invalid_argument("random_probe: iters must be a positive multiple of 8");
+  }
+}
+
+std::string RandomProbeKernel::size_desc() const {
+  switch (pattern_) {
+    case Pattern::kUniform: return std::to_string(iters_) + "-uniform";
+    case Pattern::kRemoteOnly: return std::to_string(iters_) + "-remote";
+    case Pattern::kLocalOnly: return std::to_string(iters_) + "-local";
+  }
+  return std::to_string(iters_);
+}
+
+void RandomProbeKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const AddressMap& map = cluster.map();
+  const unsigned nharts = cfg.num_cores();
+  const unsigned num_tiles = map.num_tiles();
+  const unsigned ports = cfg.vlsu_ports;
+
+  // Long vectors saturate the VLSU (Snitch overhead amortized over many
+  // beats); each K-word beat lands on one tile, and a random base makes the
+  // per-beat tile distribution uniform — the model's assumption in eq. (4).
+  unsigned vl = 0;
+  Lmul lmul = Lmul::m4;
+  switch (pattern_) {
+    case Pattern::kUniform:
+      vl = cfg.vlen_bits / 32 * 4;  // m4, full length
+      break;
+    case Pattern::kRemoteOnly:
+      // The whole vl-span must avoid the issuing hart's tile: cap the span
+      // to num_tiles - 1 consecutive tiles.
+      vl = ports * std::min(cfg.vlen_bits / 32 * 4 / ports, num_tiles - 1);
+      break;
+    case Pattern::kLocalOnly:
+      vl = ports;  // one beat, own tile
+      lmul = Lmul::m1;
+      break;
+  }
+
+  // Per-hart address tables, stored *tile-locally*: entry i of hart h lives
+  // at byte (h*banks_per_tile + i*num_banks) * 4, i.e. always in tile h.
+  const unsigned table_stride = map.num_banks() * kWordBytes;
+  if (iters_ + 1 >= map.bank_words()) {
+    throw std::invalid_argument("random_probe: iters exceed per-bank rows");
+  }
+
+  Xoshiro128 rng(seed_);
+  const unsigned beat_bytes = ports * kWordBytes;
+  const std::uint64_t max_base =
+      map.total_bytes() - static_cast<std::uint64_t>(vl) * kWordBytes;
+  const unsigned span_beats = vl / ports;
+  for (unsigned h = 0; h < nharts; ++h) {
+    const Addr tbase = h * cfg.banks_per_tile * kWordBytes;
+    for (unsigned i = 0; i < iters_; ++i) {
+      Addr target = 0;
+      switch (pattern_) {
+        case Pattern::kUniform:
+          target = static_cast<Addr>(
+              align_down(rng.next_u32() % (max_base + 1), beat_bytes));
+          break;
+        case Pattern::kRemoteOnly: {
+          // Contiguous addresses sweep tiles cyclically (word interleaving
+          // wraps to tile 0 on the next row), so the span of span_beats
+          // tiles starting at `start` covers {start .. start+span-1 mod T}.
+          // Any start in {h+1 .. h+T-span} (mod T) excludes tile h; rows are
+          // capped one below the top so a wrapping span stays in bounds.
+          const unsigned row = rng.next_below(map.bank_words() - 1);
+          const unsigned offset = 1 + rng.next_below(num_tiles - span_beats);
+          const unsigned start = (h + offset) % num_tiles;
+          target = static_cast<Addr>(
+              (static_cast<std::uint64_t>(row) * map.num_banks() +
+               start * cfg.banks_per_tile) *
+              kWordBytes);
+          break;
+        }
+        case Pattern::kLocalOnly:
+          target = tbase;
+          break;
+      }
+      cluster.write_word(tbase + i * table_stride, target);
+    }
+  }
+
+  ProgramBuilder pb("random_probe");
+  pb.li(t1, static_cast<std::int32_t>(cfg.banks_per_tile * kWordBytes));
+  pb.mul(s5, a0, t1);  // table pointer (tile-local)
+  pb.li(s1, static_cast<std::int32_t>(table_stride));
+  pb.li(t2, static_cast<std::int32_t>(vl));
+  pb.vsetvli(t3, t2, lmul);
+  pb.li(s0, static_cast<std::int32_t>(iters_ / 8));
+  Label loop = pb.make_label();
+  pb.bind(loop);
+  for (unsigned u = 0; u < 8; ++u) {
+    pb.lw(t0, s5, 0);
+    pb.add(s5, s5, s1);
+    pb.vle32(VReg{static_cast<std::uint8_t>((u * 4) % 32)}, t0);  // v0,v4,...,v28
+  }
+  pb.addi(s0, s0, -1);
+  pb.bnez(s0, loop);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+double RandomProbeKernel::traffic_bytes(const Cluster& cluster) const {
+  return kWordBytes * cluster.stats().sum_suffix(".vlsu.words_loaded");
+}
+
+// ---------------------------------------------------------------- stream --
+
+LocalStreamKernel::LocalStreamKernel(unsigned iters) : iters_(iters) {
+  if (iters_ == 0 || iters_ % 16 != 0) {
+    throw std::invalid_argument("local_stream: iters must be a positive multiple of 16");
+  }
+}
+
+void LocalStreamKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  // Each load is one K-word beat from the hart's own tile: pure local-xbar
+  // traffic at full width (eq. 2).
+  ProgramBuilder pb("local_stream");
+  pb.li(t1, static_cast<std::int32_t>(cfg.banks_per_tile * kWordBytes));
+  pb.mul(s5, a0, t1);  // own tile's first word
+  pb.li(t2, static_cast<std::int32_t>(cfg.vlsu_ports));
+  pb.vsetvli(t3, t2, Lmul::m1);
+  pb.li(s0, static_cast<std::int32_t>(iters_ / 16));
+  Label loop = pb.make_label();
+  pb.bind(loop);
+  for (unsigned u = 0; u < 16; ++u) {
+    pb.vle32(VReg{static_cast<std::uint8_t>(u * 2 % 32)}, s5);  // v0,v2,...,v30
+  }
+  pb.addi(s0, s0, -1);
+  pb.bnez(s0, loop);
+  pb.barrier();
+  pb.halt();
+  cluster.load_program(pb.build());
+}
+
+double LocalStreamKernel::traffic_bytes(const Cluster& cluster) const {
+  return kWordBytes * cluster.stats().sum_suffix(".vlsu.words_loaded");
+}
+
+// ---------------------------------------------------------------- memcpy --
+
+MemcpyKernel::MemcpyKernel(unsigned n, std::uint64_t seed) : n_(n), seed_(seed) {}
+
+void MemcpyKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned nharts = cfg.num_cores();
+  if (n_ % nharts != 0) {
+    throw std::invalid_argument("memcpy: n must be divisible by the hart count");
+  }
+  const unsigned chunk = n_ / nharts;
+
+  MemLayout mem(cluster.map());
+  src_ = mem.alloc_words(n_);
+  dst_ = mem.alloc_words(n_);
+  Xoshiro128 rng(seed_);
+  data_.resize(n_);
+  for (float& v : data_) v = rng.next_f32(-100.0f, 100.0f);
+  cluster.write_block_f32(src_, data_);
+
+  ProgramBuilder pb("memcpy");
+  pb.li(t0, static_cast<std::int32_t>(chunk * kWordBytes));
+  pb.mul(t1, a0, t0);
+  pb.li(a2, static_cast<std::int32_t>(src_));
+  pb.add(a2, a2, t1);
+  pb.li(a3, static_cast<std::int32_t>(dst_));
+  pb.add(a3, a3, t1);
+  pb.li(s0, static_cast<std::int32_t>(chunk));
+  Label loop = pb.make_label();
+  Label fin = pb.make_label();
+  pb.bind(loop);
+  pb.beqz(s0, fin);
+  pb.vsetvli(t3, s0, Lmul::m8);
+  pb.vle32(VReg{0}, a2);
+  pb.vse32(VReg{0}, a3);
+  pb.slli(t4, t3, 2);
+  pb.add(a2, a2, t4);
+  pb.add(a3, a3, t4);
+  pb.sub(s0, s0, t3);
+  pb.j(loop);
+  pb.bind(fin);
+  pb.barrier();
+  pb.halt();
+  cluster.load_program(pb.build());
+}
+
+bool MemcpyKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual = cluster.read_block_f32(dst_, n_);
+  for (unsigned i = 0; i < n_; ++i) {
+    if (actual[i] != data_[i]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- strided copy --
+
+StridedCopyKernel::StridedCopyKernel(unsigned n_out, unsigned stride_words,
+                                     std::uint64_t seed)
+    : n_out_(n_out), stride_words_(stride_words), seed_(seed) {
+  if (n_out_ == 0 || stride_words_ == 0) {
+    throw std::invalid_argument("strided_copy: n_out and stride must be positive");
+  }
+}
+
+void StridedCopyKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned nharts = cfg.num_cores();
+  if (n_out_ % nharts != 0) {
+    throw std::invalid_argument("strided_copy: n_out must be divisible by the hart count");
+  }
+  const unsigned chunk = n_out_ / nharts;
+
+  MemLayout mem(cluster.map());
+  const Addr src = mem.alloc_words(static_cast<std::size_t>(n_out_) * stride_words_);
+  dst_ = mem.alloc_words(n_out_);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> data(static_cast<std::size_t>(n_out_) * stride_words_);
+  for (float& v : data) v = rng.next_f32(-100.0f, 100.0f);
+  cluster.write_block_f32(src, data);
+  expected_.resize(n_out_);
+  for (unsigned i = 0; i < n_out_; ++i) expected_[i] = data[i * stride_words_];
+
+  ProgramBuilder pb("strided_copy");
+  pb.li(s8, static_cast<std::int32_t>(stride_words_ * kWordBytes));  // byte stride
+  pb.li(t0, static_cast<std::int32_t>(chunk));
+  pb.mul(t1, a0, t0);        // this hart's first output element
+  pb.slli(t2, t1, 2);
+  pb.li(a3, static_cast<std::int32_t>(dst_));
+  pb.add(a3, a3, t2);        // dst cursor
+  pb.mul(t2, t1, s8);
+  pb.li(a2, static_cast<std::int32_t>(src));
+  pb.add(a2, a2, t2);        // src cursor (element i at src + i*stride bytes)
+  pb.li(s0, static_cast<std::int32_t>(chunk));
+  Label loop = pb.make_label();
+  Label fin = pb.make_label();
+  pb.bind(loop);
+  pb.beqz(s0, fin);
+  pb.vsetvli(t3, s0, Lmul::m4);
+  pb.vlse32(VReg{0}, a2, s8);
+  pb.vse32(VReg{0}, a3);
+  pb.mul(t4, t3, s8);
+  pb.add(a2, a2, t4);
+  pb.slli(t4, t3, 2);
+  pb.add(a3, a3, t4);
+  pb.sub(s0, s0, t3);
+  pb.j(loop);
+  pb.bind(fin);
+  pb.barrier();
+  pb.halt();
+  cluster.load_program(pb.build());
+}
+
+bool StridedCopyKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual = cluster.read_block_f32(dst_, n_out_);
+  for (unsigned i = 0; i < n_out_; ++i) {
+    if (actual[i] != expected_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace tcdm

@@ -1,0 +1,98 @@
+// Synthetic bandwidth probes.
+//
+//  * RandomProbeKernel — the paper's §IV "test kernel with vector loads
+//    targeting random addresses": every hart streams vector loads whose base
+//    addresses are drawn uniformly at random (precomputed into a tile-local
+//    address table so the bookkeeping itself stays off the network). Used to
+//    measure the hierarchical-average bandwidth (Fig. 3 dashed lines) and
+//    the simulated counterpart of Table I.
+//  * LocalStreamKernel — saturates the tile-local crossbar (eq. 2 check).
+//  * MemcpyKernel — unit-stride copy; loads can burst, stores stay narrow.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class RandomProbeKernel final : public Kernel {
+ public:
+  enum class Pattern {
+    kUniform,       // bases uniform over the whole TCDM (the paper's probe)
+    kRemoteOnly,    // bases always outside the issuing hart's tile
+    kLocalOnly,     // single-beat loads from the hart's own tile
+  };
+
+  RandomProbeKernel(unsigned iters, Pattern pattern = Pattern::kUniform,
+                    std::uint64_t seed = 5);
+
+  [[nodiscard]] std::string name() const override { return "random_probe"; }
+  [[nodiscard]] std::string size_desc() const override;
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster&) const override { return true; }
+  /// Only the probe's vector-load traffic counts toward bandwidth.
+  [[nodiscard]] double traffic_bytes(const Cluster& cluster) const override;
+
+ private:
+  unsigned iters_;
+  Pattern pattern_;
+  std::uint64_t seed_;
+};
+
+class LocalStreamKernel final : public Kernel {
+ public:
+  explicit LocalStreamKernel(unsigned iters);
+
+  [[nodiscard]] std::string name() const override { return "local_stream"; }
+  [[nodiscard]] std::string size_desc() const override { return std::to_string(iters_); }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster&) const override { return true; }
+  [[nodiscard]] double traffic_bytes(const Cluster& cluster) const override;
+
+ private:
+  unsigned iters_;
+};
+
+class MemcpyKernel final : public Kernel {
+ public:
+  explicit MemcpyKernel(unsigned n, std::uint64_t seed = 6);
+
+  [[nodiscard]] std::string name() const override { return "memcpy"; }
+  [[nodiscard]] std::string size_desc() const override { return std::to_string(n_); }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned n_;
+  std::uint64_t seed_;
+  Addr src_ = 0;
+  Addr dst_ = 0;
+  std::vector<float> data_;
+};
+
+/// Strided gather: dst[i] = src[i * stride_words], vlse32 loads + unit-stride
+/// stores. The vlse32 traffic serializes narrow in the baseline and in plain
+/// burst configs; with the strided-burst extension it coalesces whenever
+/// stride_words < banks_per_tile. Exercises the §II-C "strided accesses
+/// never burst" limitation and its extension.
+class StridedCopyKernel final : public Kernel {
+ public:
+  StridedCopyKernel(unsigned n_out, unsigned stride_words, std::uint64_t seed = 7);
+
+  [[nodiscard]] std::string name() const override { return "strided_copy"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(n_out_) + "s" + std::to_string(stride_words_);
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned n_out_;
+  unsigned stride_words_;
+  std::uint64_t seed_;
+  Addr dst_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

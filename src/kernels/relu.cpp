@@ -1,0 +1,69 @@
+#include "src/kernels/relu.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+ReluKernel::ReluKernel(unsigned n, std::uint64_t seed) : n_(n), seed_(seed) {}
+
+void ReluKernel::setup(Cluster& cluster) {
+  const ClusterConfig& cfg = cluster.config();
+  const unsigned nharts = cfg.num_cores();
+  if (n_ % nharts != 0) {
+    throw std::invalid_argument("relu: n must be divisible by the hart count");
+  }
+  const unsigned chunk = n_ / nharts;
+
+  MemLayout mem(cluster.map());
+  const Addr x_base = mem.alloc_words(n_);
+  y_base_ = mem.alloc_words(n_);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> x(n_);
+  for (float& v : x) v = rng.next_f32(-1.0f, 1.0f);
+  cluster.write_block_f32(x_base, x);
+  expected_.assign(n_, 0.0f);
+  golden::relu(x, expected_);
+
+  const VReg vx{0};  // LMUL m8
+
+  ProgramBuilder pb("relu");
+  pb.fmv_w_x(ft0, x0);  // 0.0f threshold
+  pb.li(t0, static_cast<std::int32_t>(chunk * kWordBytes));
+  pb.mul(t1, a0, t0);
+  pb.li(a2, static_cast<std::int32_t>(x_base));
+  pb.add(a2, a2, t1);
+  pb.li(a3, static_cast<std::int32_t>(y_base_));
+  pb.add(a3, a3, t1);
+  pb.li(s0, static_cast<std::int32_t>(chunk));
+
+  Label loop = pb.make_label();
+  Label fin = pb.make_label();
+  pb.bind(loop);
+  pb.beqz(s0, fin);
+  pb.vsetvli(t3, s0, Lmul::m8);
+  pb.vle32(vx, a2);
+  pb.vfmax_vf(vx, ft0, vx);
+  pb.vse32(vx, a3);
+  pb.slli(t4, t3, 2);
+  pb.add(a2, a2, t4);
+  pb.add(a3, a3, t4);
+  pb.sub(s0, s0, t3);
+  pb.j(loop);
+
+  pb.bind(fin);
+  pb.barrier();
+  pb.halt();
+  cluster.load_program(pb.build());
+}
+
+bool ReluKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual = cluster.read_block_f32(y_base_, n_);
+  // max() is exact: the result must match bit for bit.
+  return golden::all_close(actual, expected_, 0.0f, 0.0f);
+}
+
+}  // namespace tcdm

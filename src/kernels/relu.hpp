@@ -1,0 +1,30 @@
+// ReLU kernel: y[i] = max(x[i], 0) — the element-wise activation the
+// paper's deep-learning motivation implies. One load + one store + one
+// comparison per element gives AI 0.125 FLOP/B: the most memory-bound
+// compute kernel in the suite, i.e. the best case for TCDM Burst outside
+// pure data movement.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class ReluKernel final : public Kernel {
+ public:
+  explicit ReluKernel(unsigned n, std::uint64_t seed = 15);
+
+  [[nodiscard]] std::string name() const override { return "relu"; }
+  [[nodiscard]] std::string size_desc() const override { return std::to_string(n_); }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned n_;
+  std::uint64_t seed_;
+  Addr y_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

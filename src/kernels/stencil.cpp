@@ -1,0 +1,101 @@
+#include "src/kernels/stencil.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+Jacobi2dKernel::Jacobi2dKernel(unsigned h, unsigned w, std::uint64_t seed)
+    : h_(h), w_(w), seed_(seed) {
+  if (h_ < 3 || w_ < 3) {
+    throw std::invalid_argument("jacobi2d: grid must be at least 3x3");
+  }
+}
+
+void Jacobi2dKernel::setup(Cluster& cluster) {
+  const unsigned wi = w_ - 2;  // interior width
+
+  MemLayout mem(cluster.map());
+  const Addr in_base = mem.alloc_words(static_cast<std::size_t>(h_) * w_);
+  out_base_ = mem.alloc_words(static_cast<std::size_t>(h_) * w_);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> in(static_cast<std::size_t>(h_) * w_);
+  for (float& v : in) v = rng.next_f32(0.0f, 1.0f);
+  cluster.write_block_f32(in_base, in);
+  // Preload out = in so the untouched border already holds the golden
+  // border values (the sweep only writes interior cells).
+  cluster.write_block_f32(out_base_, in);
+  expected_.assign(in.size(), 0.0f);
+  golden::jacobi2d(in, expected_, h_, w_);
+
+  const VReg acc{0}, vn{8}, vs{10}, vw{12}, ve{14};  // LMUL m2
+
+  ProgramBuilder pb("jacobi2d");
+  pb.li(t0, 0x3e800000);  // 0.25f bit pattern
+  pb.fmv_w_x(ft1, t0);
+  pb.li(s2, static_cast<std::int32_t>(in_base));
+  pb.li(s3, static_cast<std::int32_t>(out_base_));
+  pb.li(s5, static_cast<std::int32_t>(h_ - 1));  // interior rows: 1 .. h-2
+  pb.li(s6, 1);
+  pb.add(s6, s6, a0);                            // i = 1 + hartid
+  pb.li(s8, static_cast<std::int32_t>(w_ * kWordBytes));  // row stride
+
+  Label rowloop = pb.make_label();
+  Label done = pb.make_label();
+  pb.bind(rowloop);
+  pb.bge(s6, s5, done);
+
+  // Cursors point at column 1 of the stencil row / its neighbours.
+  pb.mul(t1, s6, s8);
+  pb.add(t1, t1, s2);
+  pb.addi(t1, t1, static_cast<std::int32_t>(kWordBytes));  // &in[i][1]
+  pb.mul(t2, s6, s8);
+  pb.add(t2, t2, s3);
+  pb.addi(t2, t2, static_cast<std::int32_t>(kWordBytes));  // &out[i][1]
+  pb.li(s0, static_cast<std::int32_t>(wi));  // remaining interior columns
+
+  Label col = pb.make_label();
+  Label colfin = pb.make_label();
+  pb.bind(col);
+  pb.beqz(s0, colfin);
+  pb.vsetvli(t4, s0, Lmul::m2);
+  pb.sub(t5, t1, s8);   // north: &in[i-1][j]
+  pb.vle32(vn, t5);
+  pb.add(t5, t1, s8);   // south: &in[i+1][j]
+  pb.vle32(vs, t5);
+  pb.addi(t5, t1, -static_cast<std::int32_t>(kWordBytes));  // west
+  pb.vle32(vw, t5);
+  pb.addi(t5, t1, static_cast<std::int32_t>(kWordBytes));   // east
+  pb.vle32(ve, t5);
+  pb.vfadd_vv(acc, vn, vs);
+  pb.vfadd_vv(vw, vw, ve);
+  pb.vfadd_vv(acc, acc, vw);
+  pb.vfmul_vf(acc, ft1, acc);
+  pb.vse32(acc, t2);
+  pb.slli(t3, t4, 2);
+  pb.add(t1, t1, t3);
+  pb.add(t2, t2, t3);
+  pb.sub(s0, s0, t4);
+  pb.j(col);
+
+  pb.bind(colfin);
+  pb.add(s6, s6, a1);  // i += nharts
+  pb.j(rowloop);
+
+  pb.bind(done);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool Jacobi2dKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual =
+      cluster.read_block_f32(out_base_, expected_.size());
+  return golden::all_close(actual, expected_, 1e-4f, 1e-5f);
+}
+
+}  // namespace tcdm

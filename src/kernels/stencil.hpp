@@ -1,0 +1,36 @@
+// Jacobi2D kernel: one 5-point stencil sweep over the interior of an h x w
+// fp32 grid (extension workload). out[i][j] = 0.25*(N + S + W + E).
+//
+// The most memory-bound kernel in the suite after Transpose: four
+// unit-stride loads (two of them offset by +-1 word, exercising unaligned
+// burst bases), three vector adds, one scalar-broadcast multiply and one
+// store per point -> arithmetic intensity 4/20 = 0.2 FLOP/B.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class Jacobi2dKernel final : public Kernel {
+ public:
+  /// Requires h, w >= 3. Border cells are preloaded and left untouched.
+  Jacobi2dKernel(unsigned h, unsigned w, std::uint64_t seed = 13);
+
+  [[nodiscard]] std::string name() const override { return "jacobi2d"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(h_) + "x" + std::to_string(w_);
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned h_;
+  unsigned w_;
+  std::uint64_t seed_;
+  Addr out_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,77 @@
+#include "src/kernels/transpose.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/golden.hpp"
+
+namespace tcdm {
+
+TransposeKernel::TransposeKernel(unsigned n, std::uint64_t seed) : n_(n), seed_(seed) {
+  if (n_ == 0) throw std::invalid_argument("transpose: n must be positive");
+}
+
+void TransposeKernel::setup(Cluster& cluster) {
+  MemLayout mem(cluster.map());
+  const Addr a_base = mem.alloc_words(static_cast<std::size_t>(n_) * n_);
+  b_base_ = mem.alloc_words(static_cast<std::size_t>(n_) * n_);
+
+  Xoshiro128 rng(seed_);
+  std::vector<float> a(static_cast<std::size_t>(n_) * n_);
+  for (float& v : a) v = rng.next_f32(-1.0f, 1.0f);
+  cluster.write_block_f32(a_base, a);
+  expected_.assign(a.size(), 0.0f);
+  golden::transpose(a, expected_, n_);
+
+  const VReg va{0};  // LMUL m2
+
+  ProgramBuilder pb("transpose");
+  pb.li(s2, static_cast<std::int32_t>(a_base));
+  pb.li(s3, static_cast<std::int32_t>(b_base_));
+  pb.li(s5, static_cast<std::int32_t>(n_));
+  pb.mv(s6, a0);                                      // i = hartid
+  pb.li(s8, static_cast<std::int32_t>(n_ * kWordBytes));  // row stride == store stride
+
+  Label rowloop = pb.make_label();
+  Label done = pb.make_label();
+  pb.bind(rowloop);
+  pb.bge(s6, s5, done);
+
+  pb.mul(t1, s6, s8);
+  pb.add(t1, t1, s2);  // &A[i][0]
+  pb.slli(t2, s6, 2);
+  pb.add(t2, t2, s3);  // &B[0][i]
+  pb.li(s0, static_cast<std::int32_t>(n_));  // remaining columns
+
+  Label col = pb.make_label();
+  Label colfin = pb.make_label();
+  pb.bind(col);
+  pb.beqz(s0, colfin);
+  pb.vsetvli(t4, s0, Lmul::m2);
+  pb.vle32(va, t1);          // row slice, unit-stride (bursts)
+  pb.vsse32(va, t2, s8);     // column slice, strided store (never bursts)
+  pb.slli(t3, t4, 2);
+  pb.add(t1, t1, t3);        // advance along the row
+  pb.mul(t3, t4, s8);
+  pb.add(t2, t2, t3);        // advance down the column
+  pb.sub(s0, s0, t4);
+  pb.j(col);
+
+  pb.bind(colfin);
+  pb.add(s6, s6, a1);  // i += nharts
+  pb.j(rowloop);
+
+  pb.bind(done);
+  pb.barrier();
+  pb.halt();
+
+  cluster.load_program(pb.build());
+}
+
+bool TransposeKernel::verify(const Cluster& cluster) const {
+  const std::vector<float> actual = cluster.read_block_f32(b_base_, expected_.size());
+  // Pure data movement: the result must match bit for bit.
+  return golden::all_close(actual, expected_, 0.0f, 0.0f);
+}
+
+}  // namespace tcdm

@@ -1,0 +1,34 @@
+// Transpose kernel: B = A^T on an n x n fp32 matrix (extension workload).
+//
+// Pure data movement (0 FLOP): rows are read unit-stride (burst-eligible)
+// and written back column-wise with vsse32 strided stores, which never
+// burst. The kernel isolates the paper's design asymmetry — TCDM Burst
+// accelerates only the load path — so the burst speedup here bounds the
+// benefit any store-dominated workload can see.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.hpp"
+
+namespace tcdm {
+
+class TransposeKernel final : public Kernel {
+ public:
+  explicit TransposeKernel(unsigned n, std::uint64_t seed = 14);
+
+  [[nodiscard]] std::string name() const override { return "transpose"; }
+  [[nodiscard]] std::string size_desc() const override {
+    return std::to_string(n_) + "x" + std::to_string(n_);
+  }
+  void setup(Cluster& cluster) override;
+  [[nodiscard]] bool verify(const Cluster& cluster) const override;
+
+ private:
+  unsigned n_;
+  std::uint64_t seed_;
+  Addr b_base_ = 0;
+  std::vector<float> expected_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,75 @@
+// MemPool-style TCDM address map: the shared L1 is split into `num_banks`
+// word-interleaved banks, so consecutive 32-bit words live in consecutive
+// banks. Banks are grouped `banks_per_tile` per tile; a word's tile is
+// therefore a function of its bank index. This interleaving is what makes a
+// K-element unit-stride vector access touch K distinct banks (and usually a
+// single tile), the access pattern the TCDM Burst extension exploits.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "src/common/bitutil.hpp"
+#include "src/common/types.hpp"
+
+namespace tcdm {
+
+class AddressMap {
+ public:
+  AddressMap() = default;
+  AddressMap(unsigned num_banks, unsigned banks_per_tile, unsigned bank_words)
+      : num_banks_(num_banks), banks_per_tile_(banks_per_tile), bank_words_(bank_words) {
+    assert(num_banks > 0 && banks_per_tile > 0 && bank_words > 0);
+    assert(num_banks % banks_per_tile == 0);
+  }
+
+  [[nodiscard]] unsigned num_banks() const noexcept { return num_banks_; }
+  [[nodiscard]] unsigned banks_per_tile() const noexcept { return banks_per_tile_; }
+  [[nodiscard]] unsigned num_tiles() const noexcept { return num_banks_ / banks_per_tile_; }
+  [[nodiscard]] unsigned bank_words() const noexcept { return bank_words_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return static_cast<std::uint64_t>(num_banks_) * bank_words_ * kWordBytes;
+  }
+
+  [[nodiscard]] bool valid(Addr addr) const noexcept { return addr < total_bytes(); }
+
+  /// Global word index of a byte address (word-aligned accesses only).
+  [[nodiscard]] std::uint32_t word_index(Addr addr) const noexcept {
+    assert(addr % kWordBytes == 0);
+    return addr / kWordBytes;
+  }
+
+  [[nodiscard]] BankId bank_of(Addr addr) const noexcept {
+    return word_index(addr) % num_banks_;
+  }
+
+  /// Row inside the bank's storage array.
+  [[nodiscard]] std::uint32_t row_of(Addr addr) const noexcept {
+    return word_index(addr) / num_banks_;
+  }
+
+  [[nodiscard]] TileId tile_of(Addr addr) const noexcept {
+    return bank_of(addr) / banks_per_tile_;
+  }
+
+  [[nodiscard]] unsigned bank_in_tile(Addr addr) const noexcept {
+    return bank_of(addr) % banks_per_tile_;
+  }
+
+  /// Number of consecutive words starting at `addr` that stay inside one
+  /// tile (i.e. the longest legal TCDM burst from this address). Because of
+  /// word interleaving, a tile's banks hold `banks_per_tile` consecutive
+  /// words before the stride wraps into the next tile.
+  [[nodiscard]] unsigned words_left_in_tile(Addr addr) const noexcept {
+    return banks_per_tile_ - bank_in_tile(addr);
+  }
+
+  bool operator==(const AddressMap&) const = default;
+
+ private:
+  unsigned num_banks_ = 1;
+  unsigned banks_per_tile_ = 1;
+  unsigned bank_words_ = 1;
+};
+
+}  // namespace tcdm

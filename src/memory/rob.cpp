@@ -1,0 +1,49 @@
+#include "src/memory/rob.hpp"
+
+#include <cassert>
+
+namespace tcdm {
+
+ReorderBuffer::ReorderBuffer(unsigned depth) : ring_(depth) { assert(depth > 0); }
+
+std::uint16_t ReorderBuffer::alloc() {
+  assert(!full());
+  const unsigned slot = tail_;
+  Entry& e = ring_[slot];
+  assert(!e.valid);
+  e.valid = true;
+  e.filled = false;
+  tail_ = (tail_ + 1) % ring_.size();
+  ++count_;
+  return static_cast<std::uint16_t>(slot);
+}
+
+void ReorderBuffer::fill(std::uint16_t slot, Word data) {
+  assert(slot < ring_.size());
+  Entry& e = ring_[slot];
+  assert(e.valid && !e.filled);
+  e.filled = true;
+  e.data = data;
+}
+
+bool ReorderBuffer::head_ready() const noexcept {
+  return count_ > 0 && ring_[head_].filled;
+}
+
+Word ReorderBuffer::pop_head() {
+  assert(head_ready());
+  Entry& e = ring_[head_];
+  const Word data = e.data;
+  e.valid = false;
+  e.filled = false;
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  return data;
+}
+
+void ReorderBuffer::clear() {
+  for (Entry& e : ring_) e = Entry{};
+  head_ = tail_ = count_ = 0;
+}
+
+}  // namespace tcdm

@@ -1,0 +1,56 @@
+// Per-VLSU-port Reorder Buffer.
+//
+// The VLSU allocates one slot per outstanding element *in program order* at
+// issue time; memory responses fill slots out of order (remote responses
+// overtake local ones); the head is retired strictly in order so the vector
+// register file always observes elements in element order. ROB depth is the
+// latency-tolerance knob the paper doubles for burst configurations
+// (§III-A): it bounds outstanding transactions per port.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace tcdm {
+
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(unsigned depth);
+
+  [[nodiscard]] unsigned depth() const noexcept { return static_cast<unsigned>(ring_.size()); }
+  [[nodiscard]] unsigned occupancy() const noexcept { return count_; }
+  [[nodiscard]] bool full() const noexcept { return count_ == ring_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] unsigned free_slots() const noexcept {
+    return static_cast<unsigned>(ring_.size()) - count_;
+  }
+
+  /// Allocate the next in-order slot. Precondition: !full().
+  [[nodiscard]] std::uint16_t alloc();
+
+  /// Deposit response data into a previously allocated slot.
+  void fill(std::uint16_t slot, Word data);
+
+  /// True when the oldest allocated slot has its data.
+  [[nodiscard]] bool head_ready() const noexcept;
+
+  /// Retire the oldest slot (in allocation order). Precondition: head_ready().
+  Word pop_head();
+
+  void clear();
+
+ private:
+  struct Entry {
+    bool valid = false;   // allocated
+    bool filled = false;  // response arrived
+    Word data = 0;
+  };
+  std::vector<Entry> ring_;
+  unsigned head_ = 0;  // oldest allocated
+  unsigned tail_ = 0;  // next allocation
+  unsigned count_ = 0;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,59 @@
+// One SPM (scratchpad) bank: single-ported SRAM serving one word per cycle —
+// the paper's "1-cycle round-trip" local timing (data usable the cycle after
+// issue; latency beyond that is added by the interconnect pipes).
+// The bank is functional (stores real data) and timing-accurate: a bounded
+// input queue models the bank-side request register, and a full output
+// register stalls the bank, propagating response-path backpressure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bounded_queue.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/memory/mem_types.hpp"
+
+namespace tcdm {
+
+class SpmBank {
+ public:
+  /// `words`: storage capacity. `in_depth`: request input queue (the RTL has
+  /// a register + arbitration stage; depth 2 models request pipelining
+  /// without unbounded buffering).
+  SpmBank(unsigned words, unsigned in_depth = 2, unsigned out_depth = 2);
+
+  void attach_stats(StatsRegistry& reg, const std::string& prefix);
+
+  // ---- request side ----
+  [[nodiscard]] bool can_accept() const noexcept { return !in_.full(); }
+  [[nodiscard]] bool try_push(const BankReq& req);
+
+  // ---- one simulation cycle: serve at most one request ----
+  void cycle();
+
+  // ---- response side (drained by the owning tile in the same memory stage) ----
+  [[nodiscard]] bool resp_ready() const noexcept { return !out_.empty(); }
+  [[nodiscard]] const BankResp& resp_front() const { return out_.front(); }
+  BankResp resp_pop() { return out_.pop(); }
+
+  // ---- host backdoor (test setup / result extraction; no timing) ----
+  [[nodiscard]] Word read_row(std::uint32_t row) const { return data_.at(row); }
+  void write_row(std::uint32_t row, Word value) { data_.at(row) = value; }
+  [[nodiscard]] unsigned words() const noexcept { return static_cast<unsigned>(data_.size()); }
+
+  /// True if the bank still holds queued work (used by drain checks).
+  [[nodiscard]] bool busy() const noexcept { return !in_.empty() || !out_.empty(); }
+
+ private:
+  std::vector<Word> data_;
+  BoundedQueue<BankReq> in_;
+  BoundedQueue<BankResp> out_;
+  Counter reads_;
+  Counter writes_;
+  Counter conflict_cycles_;  // cycles where >1 request contended for this bank
+  Counter stall_cycles_;     // cycles the bank could not serve due to resp backpressure
+};
+
+}  // namespace tcdm

@@ -1,0 +1,55 @@
+// Core Complex (CC): one Snitch scalar core + one Spatz vector unit, the
+// processing element of the MemPool-Spatz cluster. The CC is also the
+// response sink for all memory traffic the pair generates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/cluster/barrier.hpp"
+#include "src/cluster/tile_services.hpp"
+#include "src/isa/program.hpp"
+#include "src/memory/mem_types.hpp"
+#include "src/spatz/snitch.hpp"
+#include "src/spatz/spatz.hpp"
+
+namespace tcdm {
+
+struct CoreConfig {
+  SnitchConfig snitch;
+  SpatzConfig spatz;
+};
+
+class CoreComplex {
+ public:
+  CoreComplex(const CoreConfig& cfg, CoreId hartid, unsigned num_harts,
+              CentralBarrier& barrier);
+
+  void attach_stats(StatsRegistry& reg, const std::string& prefix);
+  void load_program(const Program* prog, Cycle start_cycle = 0);
+
+  void cycle(Cycle now, TileServices& tile);
+
+  [[nodiscard]] bool halted() const noexcept { return snitch_.halted(); }
+  [[nodiscard]] CoreId hartid() const noexcept { return hartid_; }
+
+  // ---- response delivery ----
+  void deliver_remote(const TcdmResp& rsp, Cycle now);
+  void deliver_local(const BankResp& rsp, Cycle now);
+
+  /// Monotone activity token for the cluster watchdog.
+  [[nodiscard]] double progress_token() const;
+
+  [[nodiscard]] Snitch& snitch() noexcept { return snitch_; }
+  [[nodiscard]] Spatz& spatz() noexcept { return spatz_; }
+
+ private:
+  CoreId hartid_;
+  CentralBarrier& barrier_;
+  Snitch snitch_;
+  Spatz spatz_;
+};
+
+}  // namespace tcdm

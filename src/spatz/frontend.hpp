@@ -1,0 +1,21 @@
+// Interface the Snitch scalar core uses to drive its Spatz vector unit:
+// dispatch into the vector instruction queue, VLMAX for vsetvli, and the
+// idle check barriers rely on.
+#pragma once
+
+#include "src/isa/instruction.hpp"
+#include "src/spatz/vinstr.hpp"
+
+namespace tcdm {
+
+class SpatzFrontend {
+ public:
+  virtual ~SpatzFrontend() = default;
+  [[nodiscard]] virtual bool viq_can_accept() const = 0;
+  virtual void viq_push(const DispatchedV& d) = 0;
+  [[nodiscard]] virtual unsigned vlmax(Lmul lmul) const = 0;
+  /// No queued, in-flight or outstanding vector work (memory fully drained).
+  [[nodiscard]] virtual bool fully_idle() const = 0;
+};
+
+}  // namespace tcdm

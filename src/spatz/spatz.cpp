@@ -1,0 +1,163 @@
+#include "src/spatz/spatz.hpp"
+
+#include <cassert>
+
+namespace tcdm {
+
+Spatz::Spatz(const SpatzConfig& cfg)
+    : cfg_(cfg),
+      vrf_(cfg.vlen_bits),
+      viq_(cfg.viq_depth),
+      vfpu_(cfg.lanes, cfg.fpu_latency),
+      vlsu_(cfg.lanes, cfg.rob_depth, cfg.sender) {}
+
+void Spatz::attach_stats(StatsRegistry& reg, const std::string& prefix) {
+  vfpu_.attach_stats(reg, prefix + ".vfpu");
+  vlsu_.attach_stats(reg, prefix + ".vlsu");
+  issued_ = reg.counter(prefix + ".vinstrs_issued");
+  issue_hazard_stalls_ = reg.counter(prefix + ".issue_hazard_stalls");
+}
+
+void Spatz::reset() {
+  for (VInstr& v : pool_) v.reset();
+  sb_ = Scoreboard{};
+  viq_.clear();
+}
+
+void Spatz::viq_push(const DispatchedV& d) {
+  const bool ok = viq_.try_push(d);
+  assert(ok);
+  (void)ok;
+}
+
+template <typename Fn>
+void Spatz::for_each_access(const DispatchedV& d, Fn&& fn) {
+  const unsigned g = static_cast<unsigned>(d.lmul);
+  switch (d.op) {
+    case Opcode::kVle32:
+    case Opcode::kVlse32:
+      fn(d.vd, g, true);
+      break;
+    case Opcode::kVluxei32:
+      fn(d.vd, g, true);
+      fn(d.vs2, g, false);
+      break;
+    case Opcode::kVse32:
+    case Opcode::kVsse32:
+      fn(d.vd, g, false);  // vs3 data source
+      break;
+    case Opcode::kVsuxei32:
+      fn(d.vd, g, false);
+      fn(d.vs2, g, false);
+      break;
+    case Opcode::kVfaddVV:
+    case Opcode::kVfsubVV:
+    case Opcode::kVfmulVV:
+    case Opcode::kVfmaccVV:
+    case Opcode::kVfnmsacVV:
+    case Opcode::kVfmaxVV:
+    case Opcode::kVfminVV:
+      fn(d.vd, g, true);
+      fn(d.vs1, g, false);
+      fn(d.vs2, g, false);
+      break;
+    case Opcode::kVfaddVF:
+    case Opcode::kVfmulVF:
+    case Opcode::kVfmaccVF:
+    case Opcode::kVfmaxVF:
+      fn(d.vd, g, true);
+      fn(d.vs2, g, false);
+      break;
+    case Opcode::kVfmvVF:
+      fn(d.vd, g, true);
+      break;
+    case Opcode::kVfredusum:
+      fn(d.vd, 1, true);
+      fn(d.vs2, g, false);
+      fn(d.vs1, 1, false);
+      break;
+    default:
+      assert(false && "non-vector opcode dispatched to Spatz");
+  }
+}
+
+void Spatz::cycle_retire() { vlsu_.retire(pool_, vrf_, *this); }
+
+void Spatz::cycle_issue() {
+  if (viq_.empty()) return;
+  const DispatchedV& d = viq_.front();
+  const bool is_mem = is_vector_memory(d.op);
+
+  if (is_mem ? !vlsu_.can_start() : !vfpu_.can_start()) return;
+
+  // Hazard check: destination group must be fully idle (no renaming);
+  // sources are fine even mid-write (chaining reads the watermark).
+  bool dest_ok = true;
+  for_each_access(d, [&](unsigned reg, unsigned n, bool is_write) {
+    if (is_write && !sb_.dest_free(reg, n)) dest_ok = false;
+  });
+  if (!dest_ok) {
+    issue_hazard_stalls_.inc();
+    return;
+  }
+
+  int slot = -1;
+  for (unsigned s = 0; s < kVInstrSlots; ++s) {
+    if (!pool_[s].valid) {
+      slot = static_cast<int>(s);
+      break;
+    }
+  }
+  if (slot < 0) {
+    issue_hazard_stalls_.inc();
+    return;
+  }
+
+  VInstr& instr = pool_[static_cast<unsigned>(slot)];
+  instr.reset();
+  instr.valid = true;
+  instr.d = d;
+  for_each_access(d, [&](unsigned reg, unsigned n, bool is_write) {
+    if (is_write) {
+      sb_.acquire_write(reg, n, slot);
+    } else {
+      sb_.acquire_read(reg, n);
+    }
+  });
+
+  if (is_mem) {
+    vlsu_.start(static_cast<unsigned>(slot), pool_);
+  } else {
+    vfpu_.start(static_cast<unsigned>(slot));
+  }
+  issued_.inc();
+  (void)viq_.pop();
+}
+
+void Spatz::cycle_exec(Cycle now, TileServices& tile) {
+  vfpu_.cycle(now, pool_, vrf_, sb_, *this);
+  vlsu_.issue(now, tile, pool_, vrf_, sb_, *this);
+}
+
+void Spatz::vinstr_complete(unsigned slot) {
+  VInstr& instr = pool_.at(slot);
+  assert(instr.valid);
+  for_each_access(instr.d, [&](unsigned reg, unsigned n, bool is_write) {
+    if (is_write) {
+      sb_.release_write(reg, n);
+    } else {
+      sb_.release_read(reg, n);
+    }
+  });
+  instr.reset();
+}
+
+bool Spatz::fully_idle() const {
+  if (!viq_.empty() || !vfpu_.idle() || !vlsu_.drained()) return false;
+  for (const VInstr& v : pool_) {
+    if (v.valid) return false;
+  }
+  return true;
+}
+
+}  // namespace tcdm

@@ -1,0 +1,79 @@
+// Spatz vector unit: vector instruction queue, in-order issue with
+// scoreboard hazard checks, the K-lane VFPU and the K-port VLSU. One
+// instruction can be active per unit; chaining between them flows through
+// element watermarks, which is what lets a vfmacc start consuming a vle32's
+// elements while the tail of the load is still in flight.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "src/common/bounded_queue.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/spatz/frontend.hpp"
+#include "src/spatz/vfpu.hpp"
+#include "src/spatz/vinstr.hpp"
+#include "src/spatz/vlsu.hpp"
+#include "src/spatz/vrf.hpp"
+
+namespace tcdm {
+
+struct SpatzConfig {
+  unsigned vlen_bits = 256;
+  unsigned lanes = 4;  // K: FPUs == VLSU ports
+  unsigned rob_depth = 8;
+  unsigned fpu_latency = 3;
+  unsigned viq_depth = 4;
+  BurstSenderConfig sender;
+};
+
+class Spatz final : public SpatzFrontend, public VCompletionSink {
+ public:
+  explicit Spatz(const SpatzConfig& cfg);
+
+  void attach_stats(StatsRegistry& reg, const std::string& prefix);
+  void reset();
+
+  // ---- SpatzFrontend (Snitch side) ----
+  [[nodiscard]] bool viq_can_accept() const override { return !viq_.full(); }
+  void viq_push(const DispatchedV& d) override;
+  [[nodiscard]] unsigned vlmax(Lmul lmul) const override { return vrf_.vlmax(lmul); }
+  [[nodiscard]] bool fully_idle() const override;
+
+  // ---- pipeline stages (called by the Core Complex each cycle) ----
+  /// Retire memory responses first so watermarks are fresh for the FPU.
+  void cycle_retire();
+  /// Issue at most one instruction from the VIQ to a free unit.
+  void cycle_issue();
+  /// Execute: FPU batches, VLSU beat generation and request dispatch.
+  void cycle_exec(Cycle now, TileServices& tile);
+
+  // ---- VCompletionSink ----
+  void vinstr_complete(unsigned slot) override;
+
+  [[nodiscard]] Vlsu& vlsu() noexcept { return vlsu_; }
+  [[nodiscard]] const Vlsu& vlsu() const noexcept { return vlsu_; }
+  [[nodiscard]] Vfpu& vfpu() noexcept { return vfpu_; }
+  [[nodiscard]] const Vfpu& vfpu() const noexcept { return vfpu_; }
+  [[nodiscard]] VectorRegFile& vrf() noexcept { return vrf_; }
+  [[nodiscard]] const VectorRegFile& vrf() const noexcept { return vrf_; }
+
+ private:
+  /// Enumerate the register groups an instruction touches:
+  /// fn(first_reg, group_len, is_write).
+  template <typename Fn>
+  static void for_each_access(const DispatchedV& d, Fn&& fn);
+
+  SpatzConfig cfg_;
+  VectorRegFile vrf_;
+  Scoreboard sb_;
+  std::array<VInstr, kVInstrSlots> pool_{};
+  BoundedQueue<DispatchedV> viq_;
+  Vfpu vfpu_;
+  Vlsu vlsu_;
+  Counter issued_;
+  Counter issue_hazard_stalls_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,73 @@
+// Spatz vector FPU: K fully-pipelined FMA lanes (K == the paper's "FPUs per
+// Spatz"). Each cycle the active instruction processes up to K elements,
+// provided its source watermarks have advanced far enough (chaining off
+// in-flight loads/arithmetic). Results become architecturally visible —
+// i.e. the destination watermark advances — after the pipeline latency.
+//
+// vfredusum occupies the lanes for ceil(vl/K) + log2(K) cycles (partial-sum
+// accumulation + lane reduction tree) before draining through the pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/spatz/vinstr.hpp"
+#include "src/spatz/vrf.hpp"
+
+namespace tcdm {
+
+/// Completion callback: Spatz frees the pool slot and releases scoreboard
+/// holds when a unit reports an instruction fully done.
+class VCompletionSink {
+ public:
+  virtual ~VCompletionSink() = default;
+  virtual void vinstr_complete(unsigned slot) = 0;
+};
+
+class Vfpu {
+ public:
+  Vfpu(unsigned lanes, unsigned latency);
+
+  void attach_stats(StatsRegistry& reg, const std::string& prefix);
+
+  /// Unit can accept a new instruction (previous one fully issued; its tail
+  /// may still be draining through the pipeline).
+  [[nodiscard]] bool can_start() const noexcept { return active_ < 0; }
+  void start(unsigned slot);
+
+  void cycle(Cycle now, std::array<VInstr, kVInstrSlots>& pool, VectorRegFile& vrf,
+             const Scoreboard& sb, VCompletionSink& sink);
+
+  [[nodiscard]] bool idle() const noexcept { return active_ < 0 && pipe_.empty(); }
+  [[nodiscard]] double flops() const noexcept { return flops_.value(); }
+
+ private:
+  struct PipeEntry {
+    Cycle done = 0;
+    std::uint8_t slot = 0;
+    std::uint32_t upto = 0;  // watermark value once `done` is reached
+  };
+
+  /// Leading ready elements of source group [vs, vs+n), treating the
+  /// instruction's own slot as ready (it holds the write lock on vd).
+  [[nodiscard]] static unsigned src_ready(const Scoreboard& sb, unsigned vs, unsigned n,
+                                          const std::array<VInstr, kVInstrSlots>& pool,
+                                          int self_slot);
+
+  void exec_batch(VInstr& instr, VectorRegFile& vrf, unsigned e0, unsigned n);
+
+  unsigned lanes_;
+  unsigned latency_;
+  int active_ = -1;
+  Cycle busy_until_ = 0;  // reduction lane occupancy
+  std::deque<PipeEntry> pipe_;
+  Counter flops_;
+  Counter busy_cycles_;
+  Counter stall_cycles_;  // active instruction waiting on source watermarks
+};
+
+}  // namespace tcdm

@@ -1,0 +1,116 @@
+// In-flight vector instruction records and the register scoreboard.
+//
+// Spatz executes vector instructions with *chaining*: a consumer may start
+// processing element e as soon as the producer's watermark has passed e,
+// instead of waiting for the whole register group. The watermark lives in
+// the producing instruction's record; the scoreboard maps each architectural
+// vector register to its current writer so consumers can query readiness.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/types.hpp"
+#include "src/isa/instruction.hpp"
+
+namespace tcdm {
+
+/// Upper bound on VLSU ports / FPU lanes we support (Spatz8 in the paper).
+inline constexpr unsigned kMaxPorts = 8;
+/// In-flight vector instruction slots per core.
+inline constexpr unsigned kVInstrSlots = 8;
+
+/// A vector instruction dispatched by Snitch: opcode plus all scalar
+/// operands captured at dispatch time (base address, stride, scalar float,
+/// and the active vl/LMUL configuration).
+struct DispatchedV {
+  Opcode op = Opcode::kNop;
+  std::uint8_t vd = 0;
+  std::uint8_t vs1 = 0;  // vector source 1
+  std::uint8_t vs2 = 0;  // vector source 2 / index vector
+  float fvalue = 0.0f;   // captured f[rs1] for .vf forms
+  Addr base = 0;         // captured x[rs1] for memory ops
+  std::int32_t stride = 0;  // captured x[rs2] for vlse32
+  unsigned vl = 0;
+  Lmul lmul = Lmul::m1;
+};
+
+/// Execution-time state of one in-flight vector instruction.
+struct VInstr {
+  bool valid = false;
+  DispatchedV d;
+  unsigned issued = 0;     // elements issued to the unit so far
+  unsigned retired = 0;    // elements architecturally complete
+  unsigned watermark = 0;  // leading elements of vd visible to consumers
+  bool issuing_done = false;
+  std::array<std::uint16_t, kMaxPorts> port_retired{};  // per-VLSU-port progress
+
+  void reset() { *this = VInstr{}; }
+};
+
+/// Register scoreboard over the 32 architectural vector registers.
+/// Tracks, per register, the in-flight writer (for chaining + WAW) and the
+/// number of in-flight readers (for WAR).
+class Scoreboard {
+ public:
+  static constexpr unsigned kAllReady = std::numeric_limits<unsigned>::max();
+
+  Scoreboard() {
+    writer_.fill(-1);
+    readers_.fill(0);
+  }
+
+  /// Can an instruction writing group [vd, vd+n) and reading the listed
+  /// source groups be issued? Destination must be fully idle (no WAW/WAR
+  /// renaming in Spatz); sources may have active writers (chaining).
+  [[nodiscard]] bool dest_free(unsigned vd, unsigned n) const {
+    for (unsigned r = vd; r < vd + n; ++r) {
+      if (writer_[r] >= 0 || readers_[r] > 0) return false;
+    }
+    return true;
+  }
+
+  void acquire_write(unsigned vd, unsigned n, int slot) {
+    for (unsigned r = vd; r < vd + n; ++r) {
+      assert(writer_[r] < 0);
+      writer_[r] = static_cast<std::int8_t>(slot);
+    }
+  }
+  void release_write(unsigned vd, unsigned n) {
+    for (unsigned r = vd; r < vd + n; ++r) writer_[r] = -1;
+  }
+  void acquire_read(unsigned vs, unsigned n) {
+    for (unsigned r = vs; r < vs + n; ++r) ++readers_[r];
+  }
+  void release_read(unsigned vs, unsigned n) {
+    for (unsigned r = vs; r < vs + n; ++r) {
+      assert(readers_[r] > 0);
+      --readers_[r];
+    }
+  }
+
+  /// Slot of the in-flight writer of `vreg`, or -1.
+  [[nodiscard]] int writer(unsigned vreg) const { return writer_[vreg]; }
+
+  /// How many leading elements of group [vs, vs+n) a consumer may read,
+  /// given the instruction pool (kAllReady when no writer is in flight).
+  template <typename Pool>
+  [[nodiscard]] unsigned ready_elems(unsigned vs, unsigned n, const Pool& pool) const {
+    unsigned ready = kAllReady;
+    for (unsigned r = vs; r < vs + n; ++r) {
+      if (writer_[r] >= 0) {
+        const unsigned w = pool[static_cast<unsigned>(writer_[r])].watermark;
+        if (w < ready) ready = w;
+      }
+    }
+    return ready;
+  }
+
+ private:
+  std::array<std::int8_t, kNumVRegs> writer_;
+  std::array<std::uint8_t, kNumVRegs> readers_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,194 @@
+#include "src/spatz/vlsu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcdm {
+
+Vlsu::Vlsu(unsigned ports, unsigned rob_depth, const BurstSenderConfig& sender_cfg)
+    : ports_(ports), sender_(sender_cfg, ports) {
+  assert(ports_ >= 1 && ports_ <= kMaxPorts);
+  rob_.reserve(ports_);
+  meta_.reserve(ports_);
+  for (unsigned p = 0; p < ports_; ++p) {
+    rob_.emplace_back(rob_depth);
+    meta_.emplace_back(rob_depth);
+  }
+}
+
+void Vlsu::attach_stats(StatsRegistry& reg, const std::string& prefix) {
+  words_loaded_ = reg.counter(prefix + ".words_loaded");
+  words_stored_ = reg.counter(prefix + ".words_stored");
+  beats_ = reg.counter(prefix + ".beats");
+  issue_stall_cycles_ = reg.counter(prefix + ".issue_stall_cycles");
+  sender_.attach_stats(reg, prefix + ".sender");
+}
+
+void Vlsu::start(unsigned slot, std::array<VInstr, kVInstrSlots>& pool) {
+  assert(can_start());
+  assert(pool[slot].valid);
+  (void)pool;
+  active_ = static_cast<int>(slot);
+}
+
+unsigned Vlsu::ready_elems(const Scoreboard& sb, unsigned vs, unsigned n,
+                           const std::array<VInstr, kVInstrSlots>& pool) {
+  return sb.ready_elems(vs, n, pool);
+}
+
+void Vlsu::update_watermark(VInstr& instr) const {
+  // First unretired element on port p is p + port_retired[p] * K; the
+  // watermark is the smallest such element across ports, clamped to vl.
+  unsigned wm = instr.d.vl;
+  for (unsigned p = 0; p < ports_; ++p) {
+    wm = std::min(wm, p + instr.port_retired[p] * ports_);
+  }
+  instr.watermark = std::max(instr.watermark, std::min(wm, instr.d.vl));
+}
+
+void Vlsu::retire(std::array<VInstr, kVInstrSlots>& pool, VectorRegFile& vrf,
+                  VCompletionSink& sink) {
+  for (unsigned p = 0; p < ports_; ++p) {
+    if (!rob_[p].head_ready()) continue;
+    const Word data = rob_[p].pop_head();
+    const RobMeta m = meta_[p].pop();
+    VInstr& instr = pool[m.slot];
+    assert(instr.valid);
+    vrf.write(instr.d.vd, m.elem, data);
+    ++instr.port_retired[p];
+    ++instr.retired;
+    words_loaded_.inc();
+    update_watermark(instr);
+    if (instr.retired == instr.d.vl && instr.issuing_done) {
+      // Fully retired load: drop from the retiring set and complete.
+      retiring_.erase(std::find(retiring_.begin(), retiring_.end(), m.slot));
+      sink.vinstr_complete(m.slot);
+    }
+  }
+}
+
+void Vlsu::issue(Cycle now, TileServices& tile, std::array<VInstr, kVInstrSlots>& pool,
+                 VectorRegFile& vrf, const Scoreboard& sb, VCompletionSink& sink) {
+  if (active_ >= 0) {
+    VInstr& instr = pool[static_cast<unsigned>(active_)];
+    assert(instr.valid);
+    const DispatchedV& d = instr.d;
+    const unsigned group = static_cast<unsigned>(d.lmul);
+    const unsigned e0 = instr.issued;
+    const unsigned n = std::min(ports_, d.vl - e0);
+    const bool is_store = d.op == Opcode::kVse32 || d.op == Opcode::kVsuxei32 ||
+                          d.op == Opcode::kVsse32;
+    const bool indexed = d.op == Opcode::kVluxei32 || d.op == Opcode::kVsuxei32;
+
+    bool can_issue = sender_.can_accept_beat();
+    if (can_issue && !is_store) {
+      for (unsigned j = 0; j < n; ++j) {
+        if (rob_[(e0 + j) % ports_].full() || meta_[(e0 + j) % ports_].full()) {
+          can_issue = false;
+          break;
+        }
+      }
+    }
+    // Chaining: store data and gather/scatter indices must be produced
+    // before this beat's elements can be issued.
+    if (can_issue && is_store) {
+      can_issue = ready_elems(sb, d.vd, group, pool) >= e0 + n;
+    }
+    if (can_issue && indexed) {
+      can_issue = can_issue && ready_elems(sb, d.vs2, group, pool) >= e0 + n;
+    }
+
+    if (can_issue) {
+      BeatRequest beat;
+      beat.unit_stride_load = d.op == Opcode::kVle32;
+      // Strided-burst extension: positive word-aligned strides qualify; the
+      // Burst Sender decides whether the stride fits its tile's bank span.
+      beat.strided_load = d.op == Opcode::kVlse32 && d.stride > 0 &&
+                          d.stride % static_cast<std::int32_t>(kWordBytes) == 0 &&
+                          d.stride / static_cast<std::int32_t>(kWordBytes) <= 0xff;
+      beat.stride_words =
+          beat.strided_load ? static_cast<unsigned>(d.stride) / kWordBytes : 1;
+      beat.unit_stride_store = d.op == Opcode::kVse32;
+      beat.words.reserve(n);
+      for (unsigned j = 0; j < n; ++j) {
+        const unsigned e = e0 + j;
+        const unsigned p = e % ports_;
+        WordRequest w;
+        switch (d.op) {
+          case Opcode::kVle32:
+          case Opcode::kVse32:
+            w.addr = d.base + e * kWordBytes;
+            break;
+          case Opcode::kVlse32:
+          case Opcode::kVsse32:
+            w.addr = d.base + static_cast<Addr>(static_cast<std::int64_t>(e) * d.stride);
+            break;
+          case Opcode::kVluxei32:
+          case Opcode::kVsuxei32:
+            w.addr = d.base + vrf.read(d.vs2, e);
+            break;
+          default:
+            assert(false && "non-memory opcode in VLSU");
+        }
+        if (w.addr % kWordBytes != 0 || !tile.map().valid(w.addr)) {
+          throw std::runtime_error(
+              "vector access out of TCDM range or misaligned: addr=" +
+              std::to_string(w.addr) + " element=" + std::to_string(e));
+        }
+        w.port = static_cast<std::uint8_t>(p);
+        if (is_store) {
+          w.write = true;
+          w.wdata = vrf.read(d.vd, e);
+          ++outstanding_stores_;
+          words_stored_.inc();
+        } else {
+          w.rob_slot = rob_[p].alloc();
+          const bool ok =
+              meta_[p].try_push(RobMeta{static_cast<std::uint8_t>(active_), e});
+          assert(ok);
+          (void)ok;
+        }
+        beat.words.push_back(w);
+      }
+      const bool accepted = sender_.accept_beat(beat, tile.map(), tile.tile_id());
+      assert(accepted);
+      (void)accepted;
+      beats_.inc();
+      instr.issued = e0 + n;
+      if (instr.issued >= d.vl) {
+        instr.issuing_done = true;
+        const unsigned slot = static_cast<unsigned>(active_);
+        active_ = -1;
+        if (is_store) {
+          // Posted stores: the instruction completes at last-beat issue;
+          // memory-drain tracking continues via outstanding_stores_.
+          instr.retired = d.vl;
+          instr.watermark = d.vl;
+          sink.vinstr_complete(slot);
+        } else {
+          retiring_.push_back(slot);
+        }
+      }
+    } else {
+      issue_stall_cycles_.inc();
+    }
+  }
+
+  sender_.dispatch(now, tile);
+}
+
+void Vlsu::fill(unsigned port, std::uint16_t rob_slot, Word data) {
+  assert(port < ports_);
+  rob_[port].fill(rob_slot, data);
+}
+
+bool Vlsu::drained() const noexcept {
+  if (active_ >= 0 || !retiring_.empty()) return false;
+  if (outstanding_stores_ != 0 || sender_.busy()) return false;
+  for (const auto& r : rob_) {
+    if (!r.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace tcdm

@@ -1,0 +1,93 @@
+// Spatz Vector Load/Store Unit.
+//
+// K request/response ports (K == FPUs, as in the paper §II-B). Each cycle
+// the active vector memory instruction generates one *beat*: up to K element
+// accesses, one per port (element e uses port e mod K). Loads pre-allocate
+// one in-order ROB slot per element on their port; the Burst Sender then
+// routes the beat (local / narrow remote / coalesced burst). Responses fill
+// ROB slots out of order; each port retires at most one element per cycle in
+// order, advancing the instruction's element watermark so chained consumers
+// can proceed.
+//
+// Stores are posted: they are issued narrow (the paper bursts only loads),
+// counted in `outstanding_stores` and acknowledged out of the response
+// network; barriers wait for the counter to drain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bounded_queue.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/burst/burst_sender.hpp"
+#include "src/memory/rob.hpp"
+#include "src/spatz/vfpu.hpp"  // VCompletionSink
+#include "src/spatz/vinstr.hpp"
+#include "src/spatz/vrf.hpp"
+
+namespace tcdm {
+
+class Vlsu {
+ public:
+  Vlsu(unsigned ports, unsigned rob_depth, const BurstSenderConfig& sender_cfg);
+
+  void attach_stats(StatsRegistry& reg, const std::string& prefix);
+
+  [[nodiscard]] bool can_start() const noexcept { return active_ < 0; }
+  void start(unsigned slot, std::array<VInstr, kVInstrSlots>& pool);
+
+  /// Retire phase (run first in the core cycle so watermark updates are
+  /// visible to the FPU in the same cycle): pop ready ROB heads.
+  void retire(std::array<VInstr, kVInstrSlots>& pool, VectorRegFile& vrf,
+              VCompletionSink& sink);
+
+  /// Issue phase: generate at most one beat for the active instruction and
+  /// drain the Burst Sender into banks/network.
+  void issue(Cycle now, TileServices& tile, std::array<VInstr, kVInstrSlots>& pool,
+             VectorRegFile& vrf, const Scoreboard& sb, VCompletionSink& sink);
+
+  // ---- response delivery (from tile / network) ----
+  void fill(unsigned port, std::uint16_t rob_slot, Word data);
+  void store_ack() {
+    assert(outstanding_stores_ > 0);
+    --outstanding_stores_;
+  }
+  [[nodiscard]] BurstSender& sender() noexcept { return sender_; }
+
+  [[nodiscard]] unsigned outstanding_stores() const noexcept { return outstanding_stores_; }
+  [[nodiscard]] unsigned ports() const noexcept { return ports_; }
+
+  /// Nothing active, staged, or outstanding (barrier / halt drain).
+  [[nodiscard]] bool drained() const noexcept;
+
+  [[nodiscard]] double words_loaded() const noexcept { return words_loaded_.value(); }
+  [[nodiscard]] double words_stored() const noexcept { return words_stored_.value(); }
+
+ private:
+  struct RobMeta {
+    std::uint8_t slot = 0;   // VInstr pool slot
+    std::uint32_t elem = 0;  // element index within the instruction
+  };
+
+  [[nodiscard]] static unsigned ready_elems(const Scoreboard& sb, unsigned vs, unsigned n,
+                                            const std::array<VInstr, kVInstrSlots>& pool);
+  void update_watermark(VInstr& instr) const;
+
+  unsigned ports_;
+  int active_ = -1;
+  std::vector<unsigned> retiring_;  // fully-issued loads awaiting responses
+  std::vector<ReorderBuffer> rob_;
+  std::vector<BoundedQueue<RobMeta>> meta_;
+  BurstSender sender_;
+  unsigned outstanding_stores_ = 0;
+  Counter words_loaded_;
+  Counter words_stored_;
+  Counter beats_;
+  Counter issue_stall_cycles_;
+};
+
+}  // namespace tcdm

@@ -1,0 +1,219 @@
+// Analytics tests. The bandwidth model must reproduce Table I of the paper
+// EXACTLY (it is a closed form); the area model must land on the published
+// deltas; the power model must behave monotonically; report formatting.
+#include <gtest/gtest.h>
+
+#include "src/analytics/area_model.hpp"
+#include "src/analytics/bandwidth_model.hpp"
+#include "src/analytics/power_model.hpp"
+#include "src/analytics/report.hpp"
+#include "src/analytics/roofline.hpp"
+
+namespace tcdm {
+namespace {
+
+// ------------------------------------------------------- Table I (exact) --
+
+// NOTE on the baseline utilization rows: the paper's printed baseline
+// utilizations (37.50% / 21.38% / 11.75%) are inconsistent with its own
+// baseline bandwidths divided by its own peaks (7/16 = 43.75%, 4.18/16 =
+// 26.1%, 4.22/32 = 13.2%), while every GF2/GF4 row does match BW/peak.
+// We assert the self-consistent definition (BW/peak) and record the
+// paper's printed values in EXPERIMENTS.md.
+TEST(BandwidthModel, PaperTable1Mp4Spatz4) {
+  const auto c = model::table1_column(ClusterConfig::mp4spatz4());
+  EXPECT_DOUBLE_EQ(c.peak, 16.00);
+  EXPECT_NEAR(c.baseline_bw, 7.00, 0.005);
+  EXPECT_NEAR(c.baseline_util, 7.00 / 16.00, 0.0001);
+  EXPECT_NEAR(c.gf2_bw, 10.00, 0.005);
+  EXPECT_NEAR(c.gf2_util, 0.6250, 0.0001);
+  EXPECT_NEAR(c.gf2_improvement, 0.4286, 0.0001);   // +42.86%
+  EXPECT_NEAR(c.gf4_bw, 16.00, 0.005);
+  EXPECT_NEAR(c.gf4_util, 1.0000, 0.0001);
+  EXPECT_NEAR(c.gf4_improvement, 1.2857, 0.0001);   // +128.57%
+}
+
+// NOTE on the improvement rows: the paper divides the (unrounded) GF
+// bandwidths by its baseline ROUNDED to two decimals — e.g. MP64 GF2:
+// 8.125/4.18 - 1 = +94.38% (printed) vs the exact 8.125/4.1875 - 1 =
+// +94.03%. We assert the exact closed form; the paper's printed values are
+// recovered in EXPERIMENTS.md by redoing its rounding.
+TEST(BandwidthModel, PaperTable1Mp64Spatz4) {
+  const auto c = model::table1_column(ClusterConfig::mp64spatz4());
+  EXPECT_DOUBLE_EQ(c.peak, 16.00);
+  EXPECT_DOUBLE_EQ(c.baseline_bw, 4.1875);  // paper rounds -> 4.18
+  EXPECT_NEAR(c.baseline_util, 4.1875 / 16.0, 0.001);
+  EXPECT_DOUBLE_EQ(c.gf2_bw, 8.125);        // paper rounds -> 8.13
+  EXPECT_NEAR(c.gf2_util, 0.5078, 0.001);
+  EXPECT_NEAR(c.gf2_improvement, 8.125 / 4.1875 - 1.0, 1e-9);   // +94.03%
+  EXPECT_DOUBLE_EQ(c.gf4_bw, 16.00);
+  EXPECT_NEAR(c.gf4_improvement, 16.0 / 4.1875 - 1.0, 1e-9);    // +282.09%
+  // The paper's printed improvements follow from its rounded baseline.
+  EXPECT_NEAR(8.125 / 4.18 - 1.0, 0.9438, 0.0001);   // printed +94.38%
+  EXPECT_NEAR(16.0 / 4.18 - 1.0, 2.8278, 0.0005);    // printed +282.78%
+}
+
+TEST(BandwidthModel, PaperTable1Mp128Spatz8) {
+  const auto c = model::table1_column(ClusterConfig::mp128spatz8());
+  EXPECT_DOUBLE_EQ(c.peak, 32.00);
+  EXPECT_DOUBLE_EQ(c.baseline_bw, 4.21875);  // paper rounds -> 4.22
+  EXPECT_NEAR(c.baseline_util, 4.21875 / 32.0, 0.0005);
+  EXPECT_DOUBLE_EQ(c.gf2_bw, 8.1875);        // paper rounds -> 8.19
+  EXPECT_NEAR(c.gf2_util, 0.2559, 0.0005);
+  EXPECT_NEAR(c.gf2_improvement, 8.1875 / 4.21875 - 1.0, 1e-9);  // +94.07%
+  EXPECT_DOUBLE_EQ(c.gf4_bw, 16.125);        // paper rounds -> 16.13
+  EXPECT_NEAR(c.gf4_util, 0.5039, 0.0005);
+  EXPECT_NEAR(c.gf4_improvement, 16.125 / 4.21875 - 1.0, 1e-9);  // +282.22%
+  // The paper's printed improvements follow from its rounded baseline.
+  EXPECT_NEAR(8.1875 / 4.22 - 1.0, 0.9402, 0.0001);   // printed +94.02%
+  EXPECT_NEAR(16.125 / 4.22 - 1.0, 2.8211, 0.0005);   // printed +282.11%
+}
+
+TEST(BandwidthModel, GfSaturatesAtPortCount) {
+  // GF beyond K cannot exceed the VLSU width (eq. 3 cap).
+  EXPECT_DOUBLE_EQ(model::remote_hier_bw(4, 8), model::remote_hier_bw(4, 4));
+  EXPECT_DOUBLE_EQ(model::remote_hier_bw(8, 8), 32.0);
+}
+
+TEST(BandwidthModel, MonotonicInGf) {
+  for (unsigned npe : {4u, 64u, 128u}) {
+    for (unsigned k : {4u, 8u}) {
+      double prev = 0.0;
+      for (unsigned gf : {1u, 2u, 4u, 8u}) {
+        const double bw = model::hier_avg_bw(npe, k, gf);
+        EXPECT_GE(bw, prev);
+        prev = bw;
+      }
+    }
+  }
+}
+
+TEST(BandwidthModel, UtilizationDropsWithScaleAtFixedGf) {
+  // The paper's motivation: bigger clusters waste more of their peak.
+  EXPECT_GT(model::utilization(4, 4, 1), model::utilization(64, 4, 1));
+  EXPECT_GT(model::utilization(64, 4, 1), model::utilization(128, 8, 1));
+}
+
+// ------------------------------------------------------------- area model --
+
+TEST(AreaModel, PaperDeltasOnMp64Gf4) {
+  const auto base = estimate_area(ClusterConfig::mp64spatz4());
+  const auto gf4 = estimate_area(ClusterConfig::mp64spatz4().with_burst(4));
+  // Paper §V-A: +35% VLSU, +51% interconnect logic, ~+1.5 MGE BM+BS,
+  // ~+4.5 MGE total, <8% overall.
+  EXPECT_NEAR(gf4.vlsu / base.vlsu - 1.0, 0.35, 0.02);
+  EXPECT_NEAR(gf4.interconnect / base.interconnect - 1.0, 0.51, 0.02);
+  EXPECT_NEAR((gf4.burst - base.burst) / 1e6, 1.5, 0.15);
+  EXPECT_NEAR((gf4.total() - base.total()) / 1e6, 4.5, 0.5);
+  EXPECT_LT(area_overhead(base, gf4), 0.08);
+  EXPECT_GT(area_overhead(base, gf4), 0.04);
+}
+
+TEST(AreaModel, OverheadUnder8PercentForAllPresets) {
+  const struct {
+    ClusterConfig base;
+    unsigned gf;
+  } cases[] = {{ClusterConfig::mp4spatz4(), 4},
+               {ClusterConfig::mp64spatz4(), 4},
+               {ClusterConfig::mp128spatz8(), 2}};
+  for (const auto& tc : cases) {
+    const auto base = estimate_area(tc.base);
+    const auto ext = estimate_area(tc.base.with_burst(tc.gf));
+    EXPECT_LT(area_overhead(base, ext), 0.08) << tc.base.name;
+    EXPECT_GT(area_overhead(base, ext), 0.0) << tc.base.name;
+  }
+}
+
+TEST(AreaModel, ScalesWithClusterSize) {
+  const auto a4 = estimate_area(ClusterConfig::mp4spatz4());
+  const auto a64 = estimate_area(ClusterConfig::mp64spatz4());
+  const auto a128 = estimate_area(ClusterConfig::mp128spatz8());
+  EXPECT_GT(a64.total(), 10.0 * a4.total());
+  EXPECT_GT(a128.total(), 2.0 * a64.total());  // 2x tiles, wider cores
+}
+
+TEST(AreaModel, Gf2CheaperThanGf4) {
+  const auto gf2 = estimate_area(ClusterConfig::mp64spatz4().with_burst(2));
+  const auto gf4 = estimate_area(ClusterConfig::mp64spatz4().with_burst(4));
+  EXPECT_LT(gf2.total(), gf4.total());
+}
+
+// ------------------------------------------------------------ power model --
+
+TEST(PowerModel, MoreActivityMorePower) {
+  // Two synthetic runs on the same config: the one with more traffic in the
+  // same number of cycles must draw more power.
+  ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  Cluster quiet(cfg);
+  Cluster busy(cfg);
+  busy.stats().counter("cc0.spatz.vfpu.flops").inc(1e6);
+  busy.stats().counter("cc0.spatz.vlsu.words_loaded").inc(1e5);
+  busy.stats().counter("tile0.bank0.reads").inc(1e5);
+  const auto pq = estimate_power(quiet, 1000, cfg.freq_tt_mhz);
+  const auto pb = estimate_power(busy, 1000, cfg.freq_tt_mhz);
+  EXPECT_GT(pb.total(), pq.total());
+  EXPECT_GT(pb.fpu_w, 0.0);
+  EXPECT_DOUBLE_EQ(pq.fpu_w, 0.0);
+  // Idle power is area-proportional and identical.
+  EXPECT_DOUBLE_EQ(pq.static_w, pb.static_w);
+}
+
+TEST(PowerModel, EnergyEfficiencyDefinition) {
+  PowerBreakdown p;
+  p.fpu_w = 1.0;
+  p.static_w = 1.0;
+  EXPECT_DOUBLE_EQ(energy_efficiency(100.0, p), 50.0);
+  EXPECT_DOUBLE_EQ(energy_efficiency(100.0, PowerBreakdown{}), 0.0);
+}
+
+TEST(PowerModel, ZeroCyclesIsSafe) {
+  Cluster c(ClusterConfig::mp4spatz4());
+  const auto p = estimate_power(c, 0, 910.0);
+  EXPECT_DOUBLE_EQ(p.total(), 0.0);
+}
+
+// --------------------------------------------------------------- roofline --
+
+TEST(Roofline, KneeAndRegions) {
+  const Roofline rl = make_roofline(ClusterConfig::mp4spatz4(), 24.0);
+  // Peak: 32 FLOP/cyc * 0.77 GHz = 24.64 GFLOPS.
+  EXPECT_NEAR(rl.peak_gflops, 24.64, 0.01);
+  // Ideal BW: 64 B/cyc * 0.77 GHz.
+  EXPECT_NEAR(rl.ideal_bw_gbps, 49.28, 0.01);
+  // Below the knee: memory-bound (linear in AI); above: flat.
+  const double knee = rl.knee(rl.ideal_bw_gbps);
+  EXPECT_NEAR(rl.attainable_ideal(knee / 2), rl.peak_gflops / 2, 1e-9);
+  EXPECT_DOUBLE_EQ(rl.attainable_ideal(knee * 4), rl.peak_gflops);
+  EXPECT_LT(rl.attainable_measured(0.25), rl.attainable_ideal(0.25));
+}
+
+TEST(Roofline, CsvContainsSeries) {
+  const Roofline rl = make_roofline(ClusterConfig::mp64spatz4(), 100.0);
+  const std::string csv =
+      roofline_csv(rl, {{"dotp-base", 0.25, 10.0}, {"matmul", 2.9, 200.0}});
+  EXPECT_NE(csv.find("ideal,"), std::string::npos);
+  EXPECT_NE(csv.find("measured,"), std::string::npos);
+  EXPECT_NE(csv.find("dotp-base,0.25,10"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- report --
+
+TEST(Report, TableAlignsAndSeparates) {
+  TableWriter tw({"name", "value"});
+  tw.add_row({"alpha", "1"});
+  tw.add_separator();
+  tw.add_row({"b", "22222"});
+  const std::string s = tw.str();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(pct(0.375, 2), "37.50%");
+  EXPECT_EQ(delta(0.4286, 2), "+42.86%");
+  EXPECT_EQ(delta(-0.05, 1), "-5.0%");
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -1,0 +1,217 @@
+// Unit tests for the simulation substrate: queues, arbiter, RNG, stats,
+// watchdog, bit utilities.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/common/arbiter.hpp"
+#include "src/common/bitutil.hpp"
+#include "src/common/bounded_queue.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/sim_time.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/timed_queue.hpp"
+
+namespace tcdm {
+namespace {
+
+TEST(BoundedQueue, FifoOrderAndCapacity) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, WrapAroundManyTimes) {
+  BoundedQueue<unsigned> q(5);
+  unsigned next_pop = 0;
+  for (unsigned i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+    if (i % 3 != 0) {
+      ASSERT_EQ(q.pop(), next_pop++);
+    }
+    if (q.full()) {
+      ASSERT_EQ(q.pop(), next_pop++);
+    }
+  }
+}
+
+TEST(BoundedQueue, AtInspectsFifoPositions) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(10));
+  ASSERT_TRUE(q.try_push(20));
+  ASSERT_TRUE(q.try_push(30));
+  EXPECT_EQ(q.at(0), 10);
+  EXPECT_EQ(q.at(1), 20);
+  EXPECT_EQ(q.at(2), 30);
+}
+
+TEST(TimedQueue, LatencyGatesVisibility) {
+  TimedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(42, 10));
+  EXPECT_FALSE(q.front_ready(9));
+  EXPECT_TRUE(q.front_ready(10));
+  EXPECT_TRUE(q.front_ready(11));
+  EXPECT_EQ(q.pop(), 42);
+}
+
+TEST(TimedQueue, HeadBlocksLaterReadyEntries) {
+  // FIFO order: a later entry cannot be observed before the head.
+  TimedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1, 100));
+  ASSERT_TRUE(q.try_push(2, 5));
+  EXPECT_FALSE(q.front_ready(50));
+  EXPECT_TRUE(q.front_ready(100));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.front_ready(50));
+}
+
+TEST(RoundRobinArbiter, RotatesGrants) {
+  RoundRobinArbiter arb(4);
+  const auto all = [](unsigned) { return true; };
+  EXPECT_EQ(arb.pick(all).value(), 0u);
+  EXPECT_EQ(arb.pick(all).value(), 1u);
+  EXPECT_EQ(arb.pick(all).value(), 2u);
+  EXPECT_EQ(arb.pick(all).value(), 3u);
+  EXPECT_EQ(arb.pick(all).value(), 0u);
+}
+
+TEST(RoundRobinArbiter, SkipsNotReadyAndIsFair) {
+  RoundRobinArbiter arb(3);
+  const auto only2 = [](unsigned i) { return i == 2; };
+  EXPECT_EQ(arb.pick(only2).value(), 2u);
+  EXPECT_EQ(arb.pick(only2).value(), 2u);
+  const auto none = [](unsigned) { return false; };
+  EXPECT_FALSE(arb.pick(none).has_value());
+}
+
+TEST(RoundRobinArbiter, LongRunFairnessUnderFullLoad) {
+  RoundRobinArbiter arb(5);
+  std::vector<unsigned> grants(5, 0);
+  const auto all = [](unsigned) { return true; };
+  for (unsigned i = 0; i < 1000; ++i) ++grants[arb.pick(all).value()];
+  for (unsigned g : grants) EXPECT_EQ(g, 200u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro128 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro128 a(1), b(2);
+  unsigned same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u32() == b.next_u32() ? 1 : 0;
+  EXPECT_LT(same, 4u);
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  Xoshiro128 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const float f = rng.next_f32();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Stats, CountersAccumulateAndAggregate) {
+  StatsRegistry reg;
+  Counter a = reg.counter("cc0.flops");
+  Counter b = reg.counter("cc1.flops");
+  Counter c = reg.counter("net.words");
+  a.inc(3);
+  b.inc(4);
+  c.inc();
+  EXPECT_DOUBLE_EQ(reg.value("cc0.flops"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.sum_prefix("cc"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.sum_suffix(".flops"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.value("missing"), 0.0);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.sum_prefix("cc"), 0.0);
+}
+
+TEST(Stats, HandlesStableAcrossInsertions) {
+  StatsRegistry reg;
+  Counter a = reg.counter("alpha");
+  for (int i = 0; i < 100; ++i) {
+    (void)reg.counter("name" + std::to_string(i));
+  }
+  a.inc(5);
+  EXPECT_DOUBLE_EQ(reg.value("alpha"), 5.0);
+}
+
+TEST(Watchdog, FiresAfterWindow) {
+  Watchdog wd(100);
+  wd.note_progress(0);
+  EXPECT_NO_THROW(wd.check(100));
+  EXPECT_THROW(wd.check(101), DeadlockError);
+  wd.note_progress(200);
+  EXPECT_NO_THROW(wd.check(250));
+}
+
+TEST(BitUtil, Pow2AndLogs) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+  EXPECT_EQ(log2_floor(12), 3u);
+  EXPECT_EQ(ceil_div(7, 3), 3u);
+  EXPECT_EQ(align_up(5, 4), 8u);
+  EXPECT_EQ(align_down(7, 4), 4u);
+}
+
+TEST(BitUtil, BitReverseInvolution) {
+  for (unsigned bits = 1; bits <= 12; ++bits) {
+    for (std::uint32_t v = 0; v < (1u << bits); v += 7) {
+      EXPECT_EQ(bit_reverse(bit_reverse(v, bits), bits), v);
+    }
+  }
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+}
+
+TEST(Types, FloatWordRoundTrip) {
+  for (float f : {0.0f, 1.5f, -3.25f, 1e-30f, 1e30f}) {
+    EXPECT_EQ(word_to_f32(f32_to_word(f)), f);
+  }
+}
+
+TEST(Stats, ToJsonIsSortedAndComplete) {
+  StatsRegistry reg;
+  reg.counter("b.second").inc(2.5);
+  reg.counter("a.first").inc(1.0);
+  (void)reg.counter("c.zero");  // never incremented, still reported
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"a.first\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.second\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"c.zero\": 0"), std::string::npos);
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  EXPECT_LT(json.find("b.second"), json.find("c.zero"));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline after the brace
+}
+
+TEST(Stats, ToJsonOfEmptyRegistryIsAnEmptyObject) {
+  StatsRegistry reg;
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json.find('"'), std::string::npos);
+  EXPECT_NE(json.find('{'), std::string::npos);
+  EXPECT_NE(json.find('}'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -1,0 +1,165 @@
+// Memory-substrate tests: address interleaving, SPM bank timing and
+// functionality, reorder buffer semantics.
+#include <gtest/gtest.h>
+
+#include "src/memory/address_map.hpp"
+#include "src/memory/rob.hpp"
+#include "src/memory/spm_bank.hpp"
+
+namespace tcdm {
+namespace {
+
+TEST(AddressMap, WordInterleavingAcrossBanksAndTiles) {
+  // 16 banks, 4 per tile -> 4 tiles.
+  const AddressMap map(16, 4, 64);
+  EXPECT_EQ(map.num_tiles(), 4u);
+  for (unsigned w = 0; w < 64; ++w) {
+    const Addr a = w * kWordBytes;
+    EXPECT_EQ(map.bank_of(a), w % 16);
+    EXPECT_EQ(map.tile_of(a), (w % 16) / 4);
+    EXPECT_EQ(map.row_of(a), w / 16);
+  }
+}
+
+TEST(AddressMap, ConsecutiveWordsStayInTileForOneBeat) {
+  const AddressMap map(16, 4, 64);
+  // Aligned beat: 4 words starting at a tile boundary stay in one tile.
+  EXPECT_EQ(map.words_left_in_tile(0), 4u);
+  EXPECT_EQ(map.words_left_in_tile(4), 3u);   // word 1 -> 3 words left
+  EXPECT_EQ(map.words_left_in_tile(12), 1u);  // word 3 -> last in tile
+}
+
+TEST(AddressMap, CapacityAndValidity) {
+  const AddressMap map(8, 4, 16);
+  EXPECT_EQ(map.total_bytes(), 8u * 16 * 4);
+  EXPECT_TRUE(map.valid(0));
+  EXPECT_TRUE(map.valid(map.total_bytes() - 4));
+  EXPECT_FALSE(map.valid(map.total_bytes()));
+}
+
+TEST(SpmBank, OneRequestPerCycleWithNextCycleData) {
+  SpmBank bank(16);
+  bank.write_row(3, 77);
+  BankReq r;
+  r.row = 3;
+  ASSERT_TRUE(bank.try_push(r));
+  EXPECT_FALSE(bank.resp_ready());
+  bank.cycle();
+  ASSERT_TRUE(bank.resp_ready());
+  EXPECT_EQ(bank.resp_pop().data, 77u);
+}
+
+TEST(SpmBank, ConflictSerialization) {
+  SpmBank bank(16);
+  bank.write_row(0, 10);
+  bank.write_row(1, 11);
+  BankReq r0, r1;
+  r0.row = 0;
+  r1.row = 1;
+  ASSERT_TRUE(bank.try_push(r0));
+  ASSERT_TRUE(bank.try_push(r1));
+  EXPECT_FALSE(bank.can_accept());  // input queue depth 2
+  bank.cycle();
+  ASSERT_TRUE(bank.resp_ready());
+  EXPECT_EQ(bank.resp_pop().data, 10u);
+  bank.cycle();
+  ASSERT_TRUE(bank.resp_ready());
+  EXPECT_EQ(bank.resp_pop().data, 11u);
+}
+
+TEST(SpmBank, WritesCommitAndAck) {
+  SpmBank bank(16);
+  BankReq w;
+  w.row = 5;
+  w.write = true;
+  w.wdata = 123;
+  ASSERT_TRUE(bank.try_push(w));
+  bank.cycle();
+  EXPECT_EQ(bank.read_row(5), 123u);
+  ASSERT_TRUE(bank.resp_ready());
+  EXPECT_TRUE(bank.resp_front().route.write);
+}
+
+TEST(SpmBank, AmoAddReturnsOldValue) {
+  SpmBank bank(16);
+  bank.write_row(2, 40);
+  BankReq a;
+  a.row = 2;
+  a.amo_add = true;
+  a.wdata = 2;
+  ASSERT_TRUE(bank.try_push(a));
+  bank.cycle();
+  EXPECT_EQ(bank.resp_pop().data, 40u);
+  EXPECT_EQ(bank.read_row(2), 42u);
+}
+
+TEST(SpmBank, StallsWhenOutputFull) {
+  SpmBank bank(16, 2, 1);  // output register of depth 1
+  BankReq r0, r1;
+  r0.row = 0;
+  r1.row = 1;
+  ASSERT_TRUE(bank.try_push(r0));
+  ASSERT_TRUE(bank.try_push(r1));
+  bank.cycle();           // serves r0
+  bank.cycle();           // output full -> r1 must wait
+  EXPECT_EQ(bank.resp_pop().data, bank.read_row(0));
+  bank.cycle();           // now serves r1
+  EXPECT_TRUE(bank.resp_ready());
+}
+
+TEST(Rob, InOrderRetirementWithOutOfOrderFills) {
+  ReorderBuffer rob(4);
+  const auto s0 = rob.alloc();
+  const auto s1 = rob.alloc();
+  const auto s2 = rob.alloc();
+  rob.fill(s2, 30);  // youngest returns first
+  EXPECT_FALSE(rob.head_ready());
+  rob.fill(s0, 10);
+  EXPECT_TRUE(rob.head_ready());
+  EXPECT_EQ(rob.pop_head(), 10u);
+  EXPECT_FALSE(rob.head_ready());  // s1 still outstanding
+  rob.fill(s1, 20);
+  EXPECT_EQ(rob.pop_head(), 20u);
+  EXPECT_EQ(rob.pop_head(), 30u);
+  EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, FullAndWrapAround) {
+  ReorderBuffer rob(2);
+  const auto a = rob.alloc();
+  const auto b = rob.alloc();
+  EXPECT_TRUE(rob.full());
+  rob.fill(a, 1);
+  EXPECT_EQ(rob.pop_head(), 1u);
+  const auto c = rob.alloc();  // wraps to slot a's ring position
+  rob.fill(b, 2);
+  rob.fill(c, 3);
+  EXPECT_EQ(rob.pop_head(), 2u);
+  EXPECT_EQ(rob.pop_head(), 3u);
+}
+
+TEST(Rob, LongRandomizedSequence) {
+  ReorderBuffer rob(8);
+  std::vector<std::uint16_t> slots;
+  unsigned next_val = 0, expect = 0;
+  for (unsigned round = 0; round < 500; ++round) {
+    while (!rob.full()) slots.push_back(rob.alloc());
+    // Fill in reverse order (worst case), retire everything.
+    for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+      rob.fill(*it, next_val++);
+    }
+    // Values were assigned youngest-first, so retirement sees them reversed
+    // within the batch; compute expected order.
+    const unsigned base = next_val - static_cast<unsigned>(slots.size());
+    for (unsigned i = 0; i < slots.size(); ++i) {
+      ASSERT_TRUE(rob.head_ready());
+      ASSERT_EQ(rob.pop_head(), next_val - 1 - i);
+    }
+    expect = base;
+    (void)expect;
+    slots.clear();
+  }
+}
+
+}  // namespace
+}  // namespace tcdm

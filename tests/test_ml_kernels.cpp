@@ -1,0 +1,161 @@
+// Tests for the min/max vector ops and the ML-flavored kernels (ReLU,
+// MaxPool2x2): golden-model verification across burst configs, bit-exact
+// results (max is exact arithmetic), disasm coverage, and the headline
+// property that MaxPool's stride-2 loads only benefit from the
+// strided-burst extension, never from the paper's VLE-keyed design.
+#include <gtest/gtest.h>
+
+#include "src/cluster/kernel_runner.hpp"
+#include "src/isa/disasm.hpp"
+#include "src/kernels/golden.hpp"
+#include "src/kernels/maxpool.hpp"
+#include "src/kernels/relu.hpp"
+
+namespace tcdm {
+namespace {
+
+KernelMetrics run(const ClusterConfig& cfg, Kernel& k) {
+  RunnerOptions opts;
+  opts.max_cycles = 5'000'000;
+  return run_kernel(cfg, k, opts);
+}
+
+// ---- vfmax/vfmin semantics through a tiny program ----
+
+TEST(MinMaxOps, VfmaxVfminComputeLaneWise) {
+  Cluster cluster(ClusterConfig::mp4spatz4());
+  const std::vector<float> a{-1.0f, 2.0f, -3.5f, 4.25f};
+  const std::vector<float> b{0.5f, -2.0f, -3.0f, 9.0f};
+  cluster.write_block_f32(0, a);
+  cluster.write_block_f32(64, b);
+
+  ProgramBuilder pb("minmax");
+  Label work = pb.make_label();
+  Label out = pb.make_label();
+  pb.beqz(a0, work);  // only hart 0 computes
+  pb.j(out);
+  pb.bind(work);
+  pb.li(t0, 4);
+  pb.vsetvli(t1, t0, Lmul::m1);
+  pb.li(t2, 0);
+  pb.vle32(VReg{1}, t2);
+  pb.li(t2, 64);
+  pb.vle32(VReg{2}, t2);
+  pb.vfmax_vv(VReg{3}, VReg{1}, VReg{2});
+  pb.vfmin_vv(VReg{4}, VReg{1}, VReg{2});
+  pb.li(t2, 128);
+  pb.vse32(VReg{3}, t2);
+  pb.li(t2, 192);
+  pb.vse32(VReg{4}, t2);
+  pb.bind(out);
+  pb.barrier();
+  pb.halt();
+  cluster.load_program(pb.build());
+  ASSERT_TRUE(cluster.run(100'000).all_halted);
+
+  const std::vector<float> mx = cluster.read_block_f32(128, 4);
+  const std::vector<float> mn = cluster.read_block_f32(192, 4);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(mx[i], std::max(a[i], b[i])) << i;
+    EXPECT_EQ(mn[i], std::min(a[i], b[i])) << i;
+  }
+}
+
+TEST(MinMaxOps, DisassembleCleanly) {
+  ProgramBuilder pb("d");
+  pb.vfmax_vv(VReg{3}, VReg{1}, VReg{2});
+  pb.vfmin_vv(VReg{4}, VReg{1}, VReg{2});
+  pb.vfmax_vf(VReg{5}, ft0, VReg{1});
+  pb.halt();
+  const Program p = pb.build();
+  EXPECT_NE(disasm(p.at(0)).find("vfmax.vv"), std::string::npos);
+  EXPECT_NE(disasm(p.at(1)).find("vfmin.vv"), std::string::npos);
+  EXPECT_NE(disasm(p.at(2)).find("vfmax.vf"), std::string::npos);
+}
+
+// ---- golden references ----
+
+TEST(MlGolden, ReluAndMaxpoolBasics) {
+  const std::vector<float> x{-1.0f, 0.0f, 2.5f, -0.25f};
+  std::vector<float> y(4);
+  golden::relu(x, y);
+  EXPECT_EQ(y, (std::vector<float>{0.0f, 0.0f, 2.5f, 0.0f}));
+
+  const std::vector<float> img{1, 5, 2, 0,   //
+                               3, 4, 1, 9,   //
+                               0, 0, 7, 2,   //
+                               8, 1, 3, 3};
+  std::vector<float> out(4);
+  golden::maxpool2x2(img, out, 4, 4);
+  EXPECT_EQ(out, (std::vector<float>{5, 9, 8, 7}));
+}
+
+// ---- kernels across configurations ----
+
+class MlKernelOnMp4 : public ::testing::TestWithParam<unsigned> {
+ protected:
+  ClusterConfig config() const {
+    ClusterConfig cfg = ClusterConfig::mp4spatz4();
+    return GetParam() == 0 ? cfg : cfg.with_burst(GetParam());
+  }
+};
+
+TEST_P(MlKernelOnMp4, ReluVerifies) {
+  ReluKernel k(2048);
+  const KernelMetrics m = run(config(), k);
+  EXPECT_FALSE(m.timed_out);
+  EXPECT_TRUE(m.verified);
+  EXPECT_NEAR(m.arithmetic_intensity, 0.125, 0.02);
+}
+
+TEST_P(MlKernelOnMp4, MaxPoolVerifies) {
+  MaxPoolKernel k(16, 48);
+  const KernelMetrics m = run(config(), k);
+  EXPECT_FALSE(m.timed_out);
+  EXPECT_TRUE(m.verified);
+  EXPECT_NEAR(m.arithmetic_intensity, 0.15, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(BaselineGf2Gf4, MlKernelOnMp4, ::testing::Values(0u, 2u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return info.param == 0 ? "baseline"
+                                                  : "gf" + std::to_string(info.param);
+                         });
+
+TEST(MlKernelArgs, RejectOddShapes) {
+  EXPECT_THROW(MaxPoolKernel(7, 8), std::invalid_argument);
+  EXPECT_THROW(MaxPoolKernel(8, 7), std::invalid_argument);
+  EXPECT_THROW(MaxPoolKernel(0, 8), std::invalid_argument);
+}
+
+// ---- performance directions ----
+
+TEST(MlKernelPerf, BurstSpeedsUpRelu) {
+  ReluKernel k1(4096), k2(4096);
+  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
+  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
+  ASSERT_TRUE(base.verified);
+  ASSERT_TRUE(gf4.verified);
+  // AI 0.125: deeply memory-bound, loads are half the traffic.
+  EXPECT_GT(base.cycles, 1.3 * gf4.cycles);
+}
+
+TEST(MlKernelPerf, MaxPoolNeedsTheStridedExtension) {
+  // All loads are stride-2 vlse32: the paper's VLE-keyed bursts do nothing;
+  // the strided-burst extension coalesces them pairwise.
+  MaxPoolKernel k1(32, 64), k2(32, 64), k3(32, 64);
+  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
+  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
+  const KernelMetrics ext =
+      run(ClusterConfig::mp4spatz4().with_burst(4).with_strided_bursts(), k3);
+  ASSERT_TRUE(base.verified);
+  ASSERT_TRUE(gf4.verified);
+  ASSERT_TRUE(ext.verified);
+  const double plain_gain = static_cast<double>(base.cycles) / gf4.cycles;
+  const double ext_gain = static_cast<double>(base.cycles) / ext.cycles;
+  EXPECT_LT(plain_gain, 1.1);      // VLE-keyed bursts barely move it
+  EXPECT_GT(ext_gain, plain_gain + 0.1);  // the extension does
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -1,0 +1,264 @@
+// Snitch scalar-core semantics: ALU/branch/mul/float behaviour, outstanding
+// scalar loads, and stall behaviour — exercised through single-tile cluster
+// programs so the memory path is real.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/cluster.hpp"
+#include "src/isa/program.hpp"
+
+namespace tcdm {
+namespace {
+
+ClusterConfig one_tile() {
+  ClusterConfig c;
+  c.name = "one";
+  c.num_tiles = 1;
+  c.vlsu_ports = 4;
+  c.vlen_bits = 128;
+  c.banks_per_tile = 4;
+  c.bank_words = 256;
+  c.level_sizes = {1};
+  c.level_latency = {{1, 1}};
+  c.start_stagger_cycles = 0;
+  return c;
+}
+
+/// Runs a program on one hart and returns the finished cluster.
+std::unique_ptr<Cluster> run_prog(ProgramBuilder& pb, Cycle max_cycles = 50'000) {
+  auto cluster = std::make_unique<Cluster>(one_tile());
+  cluster->load_program(pb.build());
+  EXPECT_TRUE(cluster->run(max_cycles).all_halted);
+  return cluster;
+}
+
+/// Convenience: store x-reg to memory so the test can observe it.
+void expose(ProgramBuilder& pb, XReg r, Addr at) {
+  pb.li(t6, static_cast<std::int32_t>(at));
+  pb.sw(r, t6, 0);
+}
+
+TEST(Snitch, AluSemantics) {
+  ProgramBuilder pb;
+  pb.li(s0, -7);
+  pb.li(s1, 3);
+  pb.add(a2, s0, s1);   // -4
+  pb.sub(a3, s0, s1);   // -10
+  pb.mul(a4, s0, s1);   // -21
+  pb.and_(a5, s0, s1);  // -7 & 3 = 1
+  pb.or_(a6, s0, s1);
+  pb.xor_(a7, s0, s1);
+  expose(pb, a2, 0x00);
+  expose(pb, a3, 0x04);
+  expose(pb, a4, 0x08);
+  expose(pb, a5, 0x0c);
+  expose(pb, a6, 0x10);
+  expose(pb, a7, 0x14);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(static_cast<std::int32_t>(c->read_word(0x00)), -4);
+  EXPECT_EQ(static_cast<std::int32_t>(c->read_word(0x04)), -10);
+  EXPECT_EQ(static_cast<std::int32_t>(c->read_word(0x08)), -21);
+  EXPECT_EQ(c->read_word(0x0c), (static_cast<std::uint32_t>(-7) & 3u));
+  EXPECT_EQ(c->read_word(0x10), (static_cast<std::uint32_t>(-7) | 3u));
+  EXPECT_EQ(c->read_word(0x14), (static_cast<std::uint32_t>(-7) ^ 3u));
+}
+
+TEST(Snitch, ShiftAndCompareSemantics) {
+  ProgramBuilder pb;
+  pb.li(s0, -16);
+  pb.srai(a2, s0, 2);   // -4 (arithmetic)
+  pb.srli(a3, s0, 28);  // 0xF
+  pb.slli(a4, s0, 1);   // -32
+  pb.li(s1, 5);
+  pb.slt(a5, s0, s1);   // 1 (signed)
+  pb.sltu(a6, s0, s1);  // 0 (unsigned: big)
+  pb.slti(a7, s1, 6);   // 1
+  expose(pb, a2, 0x00);
+  expose(pb, a3, 0x04);
+  expose(pb, a4, 0x08);
+  expose(pb, a5, 0x0c);
+  expose(pb, a6, 0x10);
+  expose(pb, a7, 0x14);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(static_cast<std::int32_t>(c->read_word(0x00)), -4);
+  EXPECT_EQ(c->read_word(0x04), 0xFu);
+  EXPECT_EQ(static_cast<std::int32_t>(c->read_word(0x08)), -32);
+  EXPECT_EQ(c->read_word(0x0c), 1u);
+  EXPECT_EQ(c->read_word(0x10), 0u);
+  EXPECT_EQ(c->read_word(0x14), 1u);
+}
+
+TEST(Snitch, BranchVariants) {
+  // Count how many branch types take correctly: accumulate a bitmask.
+  ProgramBuilder pb;
+  pb.li(s0, 0);  // result mask
+  pb.li(s1, -1);
+  pb.li(s2, 1);
+
+  Label l1 = pb.make_label();
+  pb.blt(s1, s2, l1);  // signed -1 < 1: taken
+  pb.halt();           // (dead)
+  pb.bind(l1);
+  pb.ori(s0, s0, 1);
+
+  Label l2 = pb.make_label();
+  Label next2 = pb.make_label();
+  pb.bltu(s1, s2, l2);  // unsigned max < 1: NOT taken
+  pb.ori(s0, s0, 2);
+  pb.j(next2);
+  pb.bind(l2);
+  pb.nop();
+  pb.bind(next2);
+
+  Label l3 = pb.make_label();
+  pb.bge(s2, s1, l3);  // 1 >= -1: taken
+  pb.halt();
+  pb.bind(l3);
+  pb.ori(s0, s0, 4);
+
+  Label l4 = pb.make_label();
+  pb.bgeu(s1, s2, l4);  // unsigned max >= 1: taken
+  pb.halt();
+  pb.bind(l4);
+  pb.ori(s0, s0, 8);
+
+  expose(pb, s0, 0x20);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(c->read_word(0x20), 0b1111u);
+}
+
+TEST(Snitch, LoopExecutesExactTripCount) {
+  ProgramBuilder pb;
+  pb.li(s0, 0);
+  pb.li(s1, 100);
+  Label loop = pb.make_label();
+  pb.bind(loop);
+  pb.addi(s0, s0, 1);
+  pb.blt(s0, s1, loop);
+  expose(pb, s0, 0x30);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(c->read_word(0x30), 100u);
+}
+
+TEST(Snitch, ScalarFloatOps) {
+  ProgramBuilder pb;
+  pb.li(t0, f32_to_word(1.5f));
+  pb.fmv_w_x(ft1, t0);
+  pb.li(t0, f32_to_word(2.25f));
+  pb.fmv_w_x(ft2, t0);
+  pb.fadd_s(ft3, ft1, ft2);         // 3.75
+  pb.fsub_s(ft4, ft1, ft2);         // -0.75
+  pb.fmul_s(ft5, ft1, ft2);         // 3.375
+  pb.fmadd_s(ft6, ft1, ft2, ft3);   // 1.5*2.25+3.75 = 7.125
+  pb.li(t6, 0x40);
+  pb.fsw(ft3, t6, 0);
+  pb.fsw(ft4, t6, 4);
+  pb.fsw(ft5, t6, 8);
+  pb.fsw(ft6, t6, 12);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_FLOAT_EQ(c->read_f32(0x40), 3.75f);
+  EXPECT_FLOAT_EQ(c->read_f32(0x44), -0.75f);
+  EXPECT_FLOAT_EQ(c->read_f32(0x48), 3.375f);
+  EXPECT_FLOAT_EQ(c->read_f32(0x4c), 7.125f);
+}
+
+TEST(Snitch, DependentMulStallsButComputesCorrectly) {
+  ProgramBuilder pb;
+  pb.li(s0, 6);
+  pb.li(s1, 7);
+  pb.mul(s2, s0, s1);    // latency 3
+  pb.mul(s3, s2, s0);    // depends on s2: 42*6
+  pb.addi(s3, s3, 1);    // 253
+  expose(pb, s3, 0x50);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(c->read_word(0x50), 253u);
+}
+
+TEST(Snitch, OutstandingLoadsOverlap) {
+  // Four independent loads followed by uses; the program is correct no
+  // matter how responses interleave.
+  ProgramBuilder pb;
+  for (unsigned i = 0; i < 4; ++i) {
+    pb.li(t6, static_cast<std::int32_t>(0x80 + 4 * i));
+    pb.li(t0, static_cast<std::int32_t>(10 + i));
+    pb.sw(t0, t6, 0);
+  }
+  pb.li(t6, 0x80);
+  pb.lw(a2, t6, 0);
+  pb.lw(a3, t6, 4);
+  pb.lw(a4, t6, 8);
+  pb.lw(a5, t6, 12);
+  pb.add(a2, a2, a3);
+  pb.add(a4, a4, a5);
+  pb.add(a2, a2, a4);  // 10+11+12+13 = 46
+  expose(pb, a2, 0x60);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(c->read_word(0x60), 46u);
+}
+
+TEST(Snitch, JalRecordsReturnIndex) {
+  ProgramBuilder pb;
+  Label sub = pb.make_label();
+  Label back = pb.make_label();
+  pb.j(sub);          // 0
+  pb.bind(back);
+  expose(pb, s0, 0x70);  // 1,2
+  pb.halt();          // 3
+  pb.bind(sub);
+  pb.li(s0, 1234);    // 4
+  pb.j(back);         // 5
+  auto c = run_prog(pb);
+  EXPECT_EQ(c->read_word(0x70), 1234u);
+}
+
+TEST(Snitch, MisalignedScalarAccessThrows) {
+  ProgramBuilder pb;
+  pb.li(t6, 2);  // misaligned
+  pb.lw(a2, t6, 0);
+  pb.halt();
+  Cluster cluster(one_tile());
+  cluster.load_program(pb.build());
+  EXPECT_THROW((void)cluster.run(1'000), std::runtime_error);
+}
+
+TEST(Snitch, OutOfRangeAccessThrows) {
+  ProgramBuilder pb;
+  pb.li(t6, 1 << 20);  // beyond 4 KiB of one tile
+  pb.lw(a2, t6, 0);
+  pb.halt();
+  Cluster cluster(one_tile());
+  cluster.load_program(pb.build());
+  EXPECT_THROW((void)cluster.run(1'000), std::runtime_error);
+}
+
+TEST(Snitch, X0IsHardwiredZero) {
+  ProgramBuilder pb;
+  pb.addi(x0, x0, 99);  // write to x0 is discarded
+  pb.add(a2, x0, x0);
+  expose(pb, a2, 0x34);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(c->read_word(0x34), 0u);
+}
+
+TEST(Snitch, ResetAbiRegisters) {
+  // a0 = hartid (0 here), a1 = hart count (1).
+  ProgramBuilder pb;
+  expose(pb, a0, 0x38);
+  expose(pb, a1, 0x3c);
+  pb.halt();
+  auto c = run_prog(pb);
+  EXPECT_EQ(c->read_word(0x38), 0u);
+  EXPECT_EQ(c->read_word(0x3c), 1u);
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -1,0 +1,119 @@
+// Timeline recorder tests: sampling accounting (deltas sum to run totals),
+// interval spacing, run completion, and both serialization formats.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "src/analytics/timeline.hpp"
+#include "src/kernels/dotp.hpp"
+#include "src/kernels/probes.hpp"
+
+namespace tcdm {
+namespace {
+
+TimelineResult record_dotp(unsigned interval, const ClusterConfig& cfg,
+                           Cluster** out_cluster = nullptr) {
+  static std::unique_ptr<Cluster> cluster;  // keep alive for caller inspection
+  cluster = std::make_unique<Cluster>(cfg);
+  DotpKernel dotp(512);
+  dotp.setup(*cluster);
+  TimelineResult t = record_timeline(*cluster, interval);
+  if (out_cluster != nullptr) *out_cluster = cluster.get();
+  return t;
+}
+
+TEST(Timeline, RejectsZeroInterval) {
+  Cluster cluster(ClusterConfig::mp4spatz4());
+  EXPECT_THROW((void)record_timeline(cluster, 0), std::invalid_argument);
+}
+
+TEST(Timeline, RunsToCompletionAndCoversAllCycles) {
+  const TimelineResult t = record_dotp(50, ClusterConfig::mp4spatz4());
+  EXPECT_TRUE(t.all_halted);
+  EXPECT_GT(t.total_cycles, 0u);
+  ASSERT_FALSE(t.samples.empty());
+  EXPECT_EQ(t.samples.back().cycle, t.total_cycles);
+}
+
+TEST(Timeline, SampleDeltasSumToClusterTotals) {
+  Cluster* cluster = nullptr;
+  const TimelineResult t = record_dotp(64, ClusterConfig::mp4spatz4(), &cluster);
+  ASSERT_NE(cluster, nullptr);
+  double loaded = 0, stored = 0, flops = 0;
+  for (const TimelineSample& s : t.samples) {
+    loaded += s.bytes_loaded;
+    stored += s.bytes_stored;
+    flops += s.flops;
+  }
+  EXPECT_DOUBLE_EQ(loaded, cluster->bytes_loaded());
+  EXPECT_DOUBLE_EQ(stored, cluster->bytes_stored());
+  EXPECT_DOUBLE_EQ(flops, cluster->total_flops());
+  EXPECT_NEAR(t.avg_bw(), (loaded + stored) / t.total_cycles, 1e-9);
+}
+
+TEST(Timeline, SamplesAreIntervalSpaced) {
+  const unsigned interval = 37;  // deliberately not a divisor of the runtime
+  const TimelineResult t = record_dotp(interval, ClusterConfig::mp4spatz4());
+  ASSERT_GE(t.samples.size(), 2u);
+  for (std::size_t i = 0; i + 1 < t.samples.size(); ++i) {
+    EXPECT_EQ(t.samples[i].cycle, (i + 1) * interval);
+  }
+  // Final sample may close a partial interval but never exceeds one.
+  EXPECT_LE(t.samples.back().cycle - t.samples[t.samples.size() - 2].cycle, interval);
+}
+
+TEST(Timeline, PeakIsAtLeastAverage) {
+  const TimelineResult t = record_dotp(50, ClusterConfig::mp4spatz4().with_burst(4));
+  EXPECT_GE(t.peak_bw(), t.avg_bw());
+  EXPECT_GT(t.peak_bw(), 0.0);
+}
+
+TEST(Timeline, BurstRaisesAverageBandwidth) {
+  const TimelineResult base = record_dotp(50, ClusterConfig::mp4spatz4());
+  const TimelineResult gf4 = record_dotp(50, ClusterConfig::mp4spatz4().with_burst(4));
+  EXPECT_GT(gf4.avg_bw(), base.avg_bw());
+}
+
+TEST(Timeline, CsvHasHeaderAndOneRowPerSample) {
+  const TimelineResult t = record_dotp(100, ClusterConfig::mp4spatz4());
+  std::ostringstream os;
+  write_timeline_csv(os, t);
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, t.samples.size() + 1);
+  EXPECT_EQ(text.rfind("cycle,bytes_loaded,bytes_stored,flops,bw_B_per_cycle\n", 0), 0u);
+}
+
+TEST(Timeline, ChromeTraceIsBalancedJsonArray) {
+  const TimelineResult t = record_dotp(100, ClusterConfig::mp4spatz4());
+  std::ostringstream os;
+  write_timeline_chrome_trace(os, t, "bw");
+  const std::string text = os.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '[');
+  int depth = 0;
+  std::size_t events = 0;
+  for (char c : text) {
+    if (c == '{') {
+      ++depth;
+      events += depth == 1 ? 1 : 0;
+    }
+    if (c == '}') --depth;
+  }
+  // Counter payloads nest one level: every event contributes {..{..}..}.
+  EXPECT_EQ(events, t.samples.size());
+}
+
+TEST(Timeline, HonorsMaxCycles) {
+  Cluster cluster(ClusterConfig::mp4spatz4());
+  RandomProbeKernel probe(512);  // long-running (but fits the address table)
+  probe.setup(cluster);
+  const TimelineResult t = record_timeline(cluster, 10, /*max_cycles=*/200);
+  EXPECT_FALSE(t.all_halted);
+  EXPECT_LE(t.total_cycles, 200u);
+}
+
+}  // namespace
+}  // namespace tcdm

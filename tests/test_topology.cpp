@@ -1,0 +1,130 @@
+// Topology tests: class enumeration, port counts, latencies — including the
+// paper's three preset hierarchies whose port counts are stated in §II-A.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/cluster/cluster_config.hpp"
+#include "src/interconnect/topology.hpp"
+
+namespace tcdm {
+namespace {
+
+TEST(Topology, FlatFourTiles) {
+  // MP4-style: {1, 4} -> 3 sibling classes + (unused) intra class.
+  const Topology topo({1, 4}, {{1, 1}, {1, 1}});
+  EXPECT_EQ(topo.num_tiles(), 4u);
+  EXPECT_EQ(topo.num_classes(), 4u);  // class 0 (intra, unused) + 3 siblings
+  // Every distinct pair diverges at level 1.
+  for (TileId s = 0; s < 4; ++s) {
+    for (TileId d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(topo.divergence_level(s, d), 1u);
+      EXPECT_GE(topo.class_of(s, d), 1u);
+      EXPECT_EQ(topo.round_trip(topo.class_of(s, d)), 3u);
+    }
+  }
+  // Distinct destinations get distinct sibling classes from one source.
+  EXPECT_NE(topo.class_of(0, 1), topo.class_of(0, 2));
+  EXPECT_NE(topo.class_of(0, 2), topo.class_of(0, 3));
+}
+
+TEST(Topology, Mp64PortCountsAndLatencies) {
+  const Topology topo = ClusterConfig::mp64spatz4().topology();
+  EXPECT_EQ(topo.num_tiles(), 64u);
+  // Paper: "Each Tile ... has four hierarchical interconnection ports".
+  EXPECT_EQ(topo.num_classes(), 4u);
+  // Intra-group: RT 3 cycles; inter-group: RT 5 cycles.
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 1)), 3u);    // same group of 16
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 16)), 5u);   // next group
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 63)), 5u);
+  EXPECT_EQ(topo.divergence_level(0, 15), 0u);
+  EXPECT_EQ(topo.divergence_level(0, 16), 1u);
+}
+
+TEST(Topology, Mp128PortCountsAndLatencies) {
+  const Topology topo = ClusterConfig::mp128spatz8().topology();
+  EXPECT_EQ(topo.num_tiles(), 128u);
+  // Paper: "Each Tile has seven hierarchical interconnection ports".
+  EXPECT_EQ(topo.num_classes(), 7u);
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 1)), 3u);    // same subgroup (8)
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 8)), 5u);    // sibling subgroup
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 31)), 5u);   // same group
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 32)), 9u);   // remote group
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 127)), 9u);
+}
+
+TEST(Topology, ClassSymmetricLatency) {
+  const Topology topo = ClusterConfig::mp128spatz8().topology();
+  for (TileId s = 0; s < 128; s += 7) {
+    for (TileId d = 0; d < 128; d += 11) {
+      if (s == d) continue;
+      EXPECT_EQ(topo.round_trip(topo.class_of(s, d)), topo.round_trip(topo.class_of(d, s)));
+    }
+  }
+}
+
+TEST(Topology, SiblingClassesPartitionDestinations) {
+  // From any source, each destination class at a level covers exactly the
+  // tiles of one sibling node.
+  const Topology topo = ClusterConfig::mp64spatz4().topology();
+  for (TileId s = 0; s < 64; s += 13) {
+    std::map<unsigned, unsigned> count_per_class;
+    for (TileId d = 0; d < 64; ++d) {
+      if (d == s) continue;
+      ++count_per_class[topo.class_of(s, d)];
+    }
+    ASSERT_EQ(count_per_class.size(), 4u);
+    EXPECT_EQ(count_per_class[0], 15u);  // intra-group peers
+    unsigned remote_total = 0;
+    for (const auto& [cls, n] : count_per_class) {
+      if (cls != 0) {
+        EXPECT_EQ(n, 16u);  // one full remote group each
+        remote_total += n;
+      }
+    }
+    EXPECT_EQ(remote_total, 48u);
+  }
+}
+
+TEST(Topology, InvalidConfigsThrow) {
+  EXPECT_THROW(Topology({}, {}), std::invalid_argument);
+  EXPECT_THROW(Topology({4}, {}), std::invalid_argument);
+  EXPECT_THROW(Topology({0, 4}, {{1, 1}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Topology, ClassNamesAreDistinctive) {
+  const Topology topo = ClusterConfig::mp128spatz8().topology();
+  EXPECT_EQ(topo.class_name(0), "intra-L0");
+  std::set<std::string> names;
+  for (unsigned c = 0; c < topo.num_classes(); ++c) {
+    names.insert(topo.class_name(static_cast<std::uint8_t>(c)));
+  }
+  EXPECT_EQ(names.size(), topo.num_classes());
+}
+
+class TopologyLevels : public ::testing::TestWithParam<std::vector<unsigned>> {};
+
+TEST_P(TopologyLevels, ClassCountMatchesFormula) {
+  const auto& sizes = GetParam();
+  std::vector<LevelLatency> lat(sizes.size(), LevelLatency{1, 1});
+  const Topology topo(sizes, lat);
+  unsigned expect = 1;
+  for (std::size_t i = 1; i < sizes.size(); ++i) expect += sizes[i] - 1;
+  EXPECT_EQ(topo.num_classes(), expect);
+  unsigned tiles = 1;
+  for (unsigned s : sizes) tiles *= s;
+  EXPECT_EQ(topo.num_tiles(), tiles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologyLevels,
+                         ::testing::Values(std::vector<unsigned>{4},
+                                           std::vector<unsigned>{1, 4},
+                                           std::vector<unsigned>{16, 4},
+                                           std::vector<unsigned>{8, 4, 4},
+                                           std::vector<unsigned>{2, 2, 2, 2}));
+
+}  // namespace
+}  // namespace tcdm
