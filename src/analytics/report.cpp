@@ -67,7 +67,10 @@ std::string fmt(double v, int precision) {
 std::string pct(double ratio, int precision) { return fmt(ratio * 100.0, precision) + "%"; }
 
 std::string delta(double ratio, int precision) {
-  return (ratio >= 0 ? "+" : "") + fmt(ratio * 100.0, precision) + "%";
+  std::string out = ratio >= 0 ? "+" : "";
+  out += fmt(ratio * 100.0, precision);
+  out += "%";
+  return out;
 }
 
 }  // namespace tcdm

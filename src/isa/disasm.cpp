@@ -5,9 +5,14 @@
 namespace tcdm {
 
 namespace {
-std::string x(unsigned i) { return "x" + std::to_string(i); }
-std::string f(unsigned i) { return "f" + std::to_string(i); }
-std::string v(unsigned i) { return "v" + std::to_string(i); }
+std::string reg(char prefix, unsigned i) {
+  std::string out(1, prefix);
+  out += std::to_string(i);
+  return out;
+}
+std::string x(unsigned i) { return reg('x', i); }
+std::string f(unsigned i) { return reg('f', i); }
+std::string v(unsigned i) { return reg('v', i); }
 }  // namespace
 
 std::string disasm(const Instr& i) {

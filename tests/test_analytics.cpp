@@ -8,6 +8,7 @@
 #include "src/analytics/power_model.hpp"
 #include "src/analytics/report.hpp"
 #include "src/analytics/roofline.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -21,7 +22,7 @@ namespace {
 // We assert the self-consistent definition (BW/peak) and record the
 // paper's printed values in EXPERIMENTS.md.
 TEST(BandwidthModel, PaperTable1Mp4Spatz4) {
-  const auto c = model::table1_column(ClusterConfig::mp4spatz4());
+  const auto c = model::table1_column(test::mp4_config());
   EXPECT_DOUBLE_EQ(c.peak, 16.00);
   EXPECT_NEAR(c.baseline_bw, 7.00, 0.005);
   EXPECT_NEAR(c.baseline_util, 7.00 / 16.00, 0.0001);
@@ -113,7 +114,7 @@ TEST(AreaModel, OverheadUnder8PercentForAllPresets) {
   const struct {
     ClusterConfig base;
     unsigned gf;
-  } cases[] = {{ClusterConfig::mp4spatz4(), 4},
+  } cases[] = {{test::mp4_config(), 4},
                {ClusterConfig::mp64spatz4(), 4},
                {ClusterConfig::mp128spatz8(), 2}};
   for (const auto& tc : cases) {
@@ -125,7 +126,7 @@ TEST(AreaModel, OverheadUnder8PercentForAllPresets) {
 }
 
 TEST(AreaModel, ScalesWithClusterSize) {
-  const auto a4 = estimate_area(ClusterConfig::mp4spatz4());
+  const auto a4 = estimate_area(test::mp4_config());
   const auto a64 = estimate_area(ClusterConfig::mp64spatz4());
   const auto a128 = estimate_area(ClusterConfig::mp128spatz8());
   EXPECT_GT(a64.total(), 10.0 * a4.total());
@@ -143,7 +144,7 @@ TEST(AreaModel, Gf2CheaperThanGf4) {
 TEST(PowerModel, MoreActivityMorePower) {
   // Two synthetic runs on the same config: the one with more traffic in the
   // same number of cycles must draw more power.
-  ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  ClusterConfig cfg = test::mp4_config();
   Cluster quiet(cfg);
   Cluster busy(cfg);
   busy.stats().counter("cc0.spatz.vfpu.flops").inc(1e6);
@@ -167,7 +168,7 @@ TEST(PowerModel, EnergyEfficiencyDefinition) {
 }
 
 TEST(PowerModel, ZeroCyclesIsSafe) {
-  Cluster c(ClusterConfig::mp4spatz4());
+  Cluster c(test::mp4_config());
   const auto p = estimate_power(c, 0, 910.0);
   EXPECT_DOUBLE_EQ(p.total(), 0.0);
 }
@@ -175,7 +176,7 @@ TEST(PowerModel, ZeroCyclesIsSafe) {
 // --------------------------------------------------------------- roofline --
 
 TEST(Roofline, KneeAndRegions) {
-  const Roofline rl = make_roofline(ClusterConfig::mp4spatz4(), 24.0);
+  const Roofline rl = make_roofline(test::mp4_config(), 24.0);
   // Peak: 32 FLOP/cyc * 0.77 GHz = 24.64 GFLOPS.
   EXPECT_NEAR(rl.peak_gflops, 24.64, 0.01);
   // Ideal BW: 64 B/cyc * 0.77 GHz.

@@ -5,8 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "src/analytics/bandwidth_model.hpp"
-#include "src/cluster/kernel_runner.hpp"
 #include "src/kernels/probes.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -14,19 +14,14 @@ namespace {
 KernelMetrics probe(const ClusterConfig& cfg, RandomProbeKernel::Pattern pattern,
                     unsigned iters = 128) {
   RandomProbeKernel k(iters, pattern);
-  RunnerOptions o;
-  o.verify = false;
-  o.max_cycles = 3'000'000;
-  return run_kernel(cfg, k, o);
+  return test::run_unverified(cfg, k);
 }
 
 TEST(Bandwidth, LocalTileTrafficNearsPeak) {
   // Eq. (2): BW_locTile == VLSU peak. Loop overhead costs a few percent.
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  const ClusterConfig cfg = test::mp4_config();
   LocalStreamKernel k(512);
-  RunnerOptions o;
-  o.verify = false;
-  const KernelMetrics m = run_kernel(cfg, k, o);
+  const KernelMetrics m = test::run_unverified(cfg, k);
   EXPECT_GT(m.bw_per_core, 0.82 * cfg.vlsu_peak_bw());
   EXPECT_LE(m.bw_per_core, cfg.vlsu_peak_bw() + 1e-9);
 }
@@ -34,13 +29,13 @@ TEST(Bandwidth, LocalTileTrafficNearsPeak) {
 TEST(Bandwidth, RemoteBaselineSerializesNearFourBytesPerCycle) {
   // Eq. (3): remote-hierarchy accesses serialize on the narrow channel.
   const KernelMetrics m =
-      probe(ClusterConfig::mp4spatz4(), RandomProbeKernel::Pattern::kRemoteOnly, 256);
+      probe(test::mp4_config(), RandomProbeKernel::Pattern::kRemoteOnly, 256);
   EXPECT_LT(m.bw_per_core, 4.0 + 0.3);
   EXPECT_GT(m.bw_per_core, 4.0 * 0.55);  // contention/latency band
 }
 
 TEST(Bandwidth, RemoteScalesWithGroupingFactor) {
-  const auto base = ClusterConfig::mp4spatz4();
+  const auto base = test::mp4_config();
   const KernelMetrics m1 = probe(base, RandomProbeKernel::Pattern::kRemoteOnly, 256);
   const KernelMetrics m2 =
       probe(base.with_burst(2), RandomProbeKernel::Pattern::kRemoteOnly, 256);
@@ -108,7 +103,7 @@ TEST(Bandwidth, BurstImprovementOrderingMatchesPaper) {
 
 TEST(Bandwidth, RequestConservation) {
   // Every word requested over the network is answered exactly once.
-  ClusterConfig cfg = ClusterConfig::mp4spatz4().with_burst(4);
+  ClusterConfig cfg = test::mp4_config(4);
   Cluster cluster(cfg);
   RandomProbeKernel k(64);
   RunnerOptions o;
@@ -122,7 +117,7 @@ TEST(Bandwidth, RequestConservation) {
 
 TEST(Bandwidth, BankAccessConservation) {
   // Bank reads equal the vector+scalar words the cores loaded.
-  ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  ClusterConfig cfg = test::mp4_config();
   Cluster cluster(cfg);
   RandomProbeKernel k(64);
   RunnerOptions o;

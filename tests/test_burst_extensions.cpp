@@ -10,9 +10,9 @@
 
 #include "src/burst/burst_manager.hpp"
 #include "src/burst/burst_sender.hpp"
-#include "src/cluster/kernel_runner.hpp"
 #include "src/kernels/probes.hpp"
 #include "src/memory/spm_bank.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -263,11 +263,8 @@ TEST(StoreBurstNetwork, ReadBurstIsSingleHeaderBeat) {
 
 // ------------------------------------------------------------ integration --
 
-KernelMetrics run(const ClusterConfig& cfg, Kernel& k) {
-  RunnerOptions opts;
-  opts.max_cycles = 5'000'000;
-  return run_kernel(cfg, k, opts);
-}
+using test::mp4_config;
+using test::run_capped;
 
 TEST(StridedBurstCluster, StridedCopyVerifiesEverywhere) {
   for (unsigned stride : {1u, 2u, 3u, 4u, 8u}) {
@@ -276,20 +273,19 @@ TEST(StridedBurstCluster, StridedCopyVerifiesEverywhere) {
       if (mode >= 1) cfg = cfg.with_burst(4);
       if (mode == 2) cfg = cfg.with_strided_bursts();
       StridedCopyKernel k(512, stride);
-      const KernelMetrics m = run(cfg, k);
-      EXPECT_TRUE(m.verified) << cfg.name << " stride=" << stride;
-      EXPECT_FALSE(m.timed_out) << cfg.name << " stride=" << stride;
+      const KernelMetrics m = run_capped(cfg, k);
+      EXPECT_KERNEL_OK(m) << "stride=" << stride;
     }
   }
 }
 
 TEST(StridedBurstCluster, Stride2TrafficSpeedsUpWithExtension) {
   StridedCopyKernel k1(2048, 2), k2(2048, 2);
-  const KernelMetrics plain = run(ClusterConfig::mp4spatz4().with_burst(4), k1);
+  const KernelMetrics plain = run_capped(mp4_config(4), k1);
   const KernelMetrics ext =
-      run(ClusterConfig::mp4spatz4().with_burst(4).with_strided_bursts(), k2);
-  ASSERT_TRUE(plain.verified);
-  ASSERT_TRUE(ext.verified);
+      run_capped(mp4_config(4).with_strided_bursts(), k2);
+  ASSERT_KERNEL_OK(plain);
+  ASSERT_KERNEL_OK(ext);
   // Stride-2 loads serialize narrowly without the extension; with it they
   // coalesce into 2-element bursts (pairs per tile).
   EXPECT_LT(ext.cycles, 0.8 * plain.cycles)
@@ -299,11 +295,11 @@ TEST(StridedBurstCluster, Stride2TrafficSpeedsUpWithExtension) {
 TEST(StridedBurstCluster, TileSpanStrideGainsNothing) {
   // stride == banks_per_tile: every element in a different tile, runs of 1.
   StridedCopyKernel k1(1024, 4), k2(1024, 4);
-  const KernelMetrics plain = run(ClusterConfig::mp4spatz4().with_burst(4), k1);
+  const KernelMetrics plain = run_capped(mp4_config(4), k1);
   const KernelMetrics ext =
-      run(ClusterConfig::mp4spatz4().with_burst(4).with_strided_bursts(), k2);
-  ASSERT_TRUE(plain.verified);
-  ASSERT_TRUE(ext.verified);
+      run_capped(mp4_config(4).with_strided_bursts(), k2);
+  ASSERT_KERNEL_OK(plain);
+  ASSERT_KERNEL_OK(ext);
   const double ratio = static_cast<double>(ext.cycles) / plain.cycles;
   EXPECT_NEAR(ratio, 1.0, 0.05);
 }
@@ -312,9 +308,8 @@ TEST(StoreBurstCluster, MemcpyVerifiesWithStoreBursts) {
   for (unsigned req_gf : {1u, 2u, 4u}) {
     MemcpyKernel k(2048);
     const KernelMetrics m =
-        run(ClusterConfig::mp4spatz4().with_burst(4).with_store_bursts(req_gf), k);
-    EXPECT_TRUE(m.verified) << "req_gf=" << req_gf;
-    EXPECT_FALSE(m.timed_out) << "req_gf=" << req_gf;
+        run_capped(mp4_config(4).with_store_bursts(req_gf), k);
+    EXPECT_KERNEL_OK(m) << "req_gf=" << req_gf;
   }
 }
 
@@ -323,22 +318,22 @@ TEST(StoreBurstCluster, NarrowRequestChannelGainsLittle) {
   // channel a store burst still streams its payload word by word, so
   // performance stays close to narrow stores.
   MemcpyKernel k1(4096), k2(4096);
-  const KernelMetrics off = run(ClusterConfig::mp4spatz4().with_burst(4), k1);
+  const KernelMetrics off = run_capped(mp4_config(4), k1);
   const KernelMetrics st1 =
-      run(ClusterConfig::mp4spatz4().with_burst(4).with_store_bursts(1), k2);
-  ASSERT_TRUE(off.verified);
-  ASSERT_TRUE(st1.verified);
+      run_capped(mp4_config(4).with_store_bursts(1), k2);
+  ASSERT_KERNEL_OK(off);
+  ASSERT_KERNEL_OK(st1);
   const double ratio = static_cast<double>(st1.cycles) / off.cycles;
   EXPECT_NEAR(ratio, 1.0, 0.10);
 }
 
 TEST(StoreBurstCluster, WidenedRequestChannelSpeedsUpMemcpy) {
   MemcpyKernel k1(4096), k2(4096);
-  const KernelMetrics off = run(ClusterConfig::mp4spatz4().with_burst(4), k1);
+  const KernelMetrics off = run_capped(mp4_config(4), k1);
   const KernelMetrics st4 =
-      run(ClusterConfig::mp4spatz4().with_burst(4).with_store_bursts(4), k2);
-  ASSERT_TRUE(off.verified);
-  ASSERT_TRUE(st4.verified);
+      run_capped(mp4_config(4).with_store_bursts(4), k2);
+  ASSERT_KERNEL_OK(off);
+  ASSERT_KERNEL_OK(st4);
   EXPECT_LT(st4.cycles, 0.85 * off.cycles)
       << "off=" << off.cycles << " st4=" << st4.cycles;
 }

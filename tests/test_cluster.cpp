@@ -5,23 +5,13 @@
 
 #include "src/cluster/cluster.hpp"
 #include "src/isa/program.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
 /// Tiny 2-tile cluster for fast directed tests.
-ClusterConfig tiny_config() {
-  ClusterConfig c;
-  c.name = "tiny2";
-  c.num_tiles = 2;
-  c.vlsu_ports = 4;
-  c.vlen_bits = 128;
-  c.banks_per_tile = 4;
-  c.bank_words = 256;
-  c.level_sizes = {1, 2};
-  c.level_latency = {{1, 1}, {1, 1}};
-  return c;
-}
+using test::tiny_config;
 
 TEST(Cluster, ScalarArithmeticProgram) {
   Cluster cluster(tiny_config());

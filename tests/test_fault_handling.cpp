@@ -7,13 +7,14 @@
 
 #include "src/cluster/cluster.hpp"
 #include "src/common/sim_time.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
 // Cluster owns a non-copyable stats registry; build in place per test.
 #define MAKE_CLUSTER(cluster)                      \
-  Cluster cluster(ClusterConfig::mp4spatz4());     \
+  Cluster cluster(::tcdm::test::mp4_config());     \
   cluster.set_watchdog_window(2000)
 
 Program with_epilogue(ProgramBuilder& pb) {

@@ -4,124 +4,99 @@
 // and must not hurt compute-bound ones).
 #include <gtest/gtest.h>
 
-#include "src/cluster/kernel_runner.hpp"
 #include "src/kernels/axpy.hpp"
 #include "src/kernels/dotp.hpp"
 #include "src/kernels/fft.hpp"
 #include "src/kernels/matmul.hpp"
 #include "src/kernels/probes.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
-KernelMetrics run(const ClusterConfig& cfg, Kernel& k) {
-  RunnerOptions opts;
-  opts.max_cycles = 5'000'000;
-  return run_kernel(cfg, k, opts);
-}
+using test::mp4_config;
+using test::run_capped;
+using test::run_unverified;
 
-class KernelOnMp4 : public ::testing::TestWithParam<unsigned> {
- protected:
-  ClusterConfig config() const {
-    ClusterConfig cfg = ClusterConfig::mp4spatz4();
-    return GetParam() == 0 ? cfg : cfg.with_burst(GetParam());
-  }
-};
+using KernelOnMp4 = test::BurstSweepTest;
 
 TEST_P(KernelOnMp4, DotpVerifies) {
   DotpKernel k(1024);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
-  EXPECT_NEAR(m.arithmetic_intensity, 0.25, 0.05);  // paper: 0.25 FLOP/B
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
+  EXPECT_AI_NEAR(m, 0.25, 0.05);  // paper: 0.25 FLOP/B
 }
 
 TEST_P(KernelOnMp4, AxpyVerifies) {
   AxpyKernel k(512);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 TEST_P(KernelOnMp4, MatmulVerifies) {
   MatmulKernel k(16, 4);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 TEST_P(KernelOnMp4, Matmul32Verifies) {
   MatmulKernel k(32, 4);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 TEST_P(KernelOnMp4, FftVerifies) {
   FftKernel k(1, 256);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 TEST_P(KernelOnMp4, FftMultiInstanceVerifies) {
   FftKernel k(4, 128);  // one instance per hart
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 TEST_P(KernelOnMp4, MemcpyVerifies) {
   MemcpyKernel k(1024);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
 }
 
-INSTANTIATE_TEST_SUITE_P(BaselineGf2Gf4, KernelOnMp4, ::testing::Values(0u, 2u, 4u),
-                         [](const ::testing::TestParamInfo<unsigned>& info) {
-                           return info.param == 0 ? "baseline"
-                                                  : "gf" + std::to_string(info.param);
-                         });
+TCDM_INSTANTIATE_BURST_SWEEP(KernelOnMp4);
 
 TEST(KernelPerf, BurstSpeedsUpMemoryBoundDotp) {
   DotpKernel k1(4096), k2(4096);
-  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
-  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
-  ASSERT_TRUE(base.verified);
-  ASSERT_TRUE(gf4.verified);
+  const KernelMetrics base = run_capped(mp4_config(), k1);
+  const KernelMetrics gf4 = run_capped(mp4_config(4), k2);
+  ASSERT_KERNEL_OK(base);
+  ASSERT_KERNEL_OK(gf4);
   // Paper: +106% DotP on MP4Spatz4; require at least +50% in the simulator.
-  EXPECT_GT(gf4.flops_per_cycle, 1.5 * base.flops_per_cycle)
-      << "baseline cycles=" << base.cycles << " gf4 cycles=" << gf4.cycles;
+  EXPECT_SPEEDUP_GE(base, gf4, 1.5);
 }
 
 TEST(KernelPerf, BurstDoesNotHurtComputeBoundMatmul) {
   MatmulKernel k1(64, 4), k2(64, 4);
-  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
-  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
-  ASSERT_TRUE(base.verified);
-  ASSERT_TRUE(gf4.verified);
-  EXPECT_GT(gf4.flops_per_cycle, 0.95 * base.flops_per_cycle);
+  const KernelMetrics base = run_capped(mp4_config(), k1);
+  const KernelMetrics gf4 = run_capped(mp4_config(4), k2);
+  ASSERT_KERNEL_OK(base);
+  ASSERT_KERNEL_OK(gf4);
+  EXPECT_SPEEDUP_GE(base, gf4, 0.95);
 }
 
 TEST(KernelPerf, RandomProbeBandwidthImprovesWithBurst) {
   RandomProbeKernel p1(64), p2(64);
-  RunnerOptions opts;
-  opts.verify = false;
-  const KernelMetrics base = run_kernel(ClusterConfig::mp4spatz4(), p1, opts);
-  const KernelMetrics gf4 =
-      run_kernel(ClusterConfig::mp4spatz4().with_burst(4), p2, opts);
+  const KernelMetrics base = run_unverified(mp4_config(), p1, 5'000'000);
+  const KernelMetrics gf4 = run_unverified(mp4_config(4), p2, 5'000'000);
   EXPECT_GT(gf4.bw_per_core, 1.5 * base.bw_per_core);
 }
 
 TEST(KernelPerf, LocalStreamApproachesPeak) {
   LocalStreamKernel k(256);
-  RunnerOptions opts;
-  opts.verify = false;
-  const KernelMetrics m = run_kernel(ClusterConfig::mp4spatz4(), k, opts);
+  const KernelMetrics m = run_unverified(mp4_config(), k, 5'000'000);
   // Eq. (2): local-tile traffic runs at full VLSU width; the 16-load loop
   // body costs exactly 1/5 of its cycles in scalar overhead at 256 iters.
-  EXPECT_GE(m.bw_per_core, 0.8 * ClusterConfig::mp4spatz4().vlsu_peak_bw());
+  EXPECT_GE(m.bw_per_core, 0.8 * mp4_config().vlsu_peak_bw());
 }
 
 }  // namespace

@@ -6,68 +6,51 @@
 
 #include <tuple>
 
-#include "src/cluster/kernel_runner.hpp"
 #include "src/kernels/conv2d.hpp"
 #include "src/kernels/gemv.hpp"
 #include "src/kernels/stencil.hpp"
 #include "src/kernels/transpose.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
-KernelMetrics run(const ClusterConfig& cfg, Kernel& k) {
-  RunnerOptions opts;
-  opts.max_cycles = 5'000'000;
-  return run_kernel(cfg, k, opts);
-}
+using test::mp4_config;
+using test::run_capped;
 
-class ExtKernelOnMp4 : public ::testing::TestWithParam<unsigned> {
- protected:
-  ClusterConfig config() const {
-    ClusterConfig cfg = ClusterConfig::mp4spatz4();
-    return GetParam() == 0 ? cfg : cfg.with_burst(GetParam());
-  }
-};
+using ExtKernelOnMp4 = test::BurstSweepTest;
 
 TEST_P(ExtKernelOnMp4, GemvVerifies) {
   GemvKernel k(32, 64);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
   // R=4: AI = 2R / (4(R+1)) = 0.4 FLOP/B; y stores and loop overhead shift
   // it slightly.
-  EXPECT_NEAR(m.arithmetic_intensity, 0.4, 0.08);
+  EXPECT_AI_NEAR(m, 0.4, 0.08);
 }
 
 TEST_P(ExtKernelOnMp4, Conv2dVerifies) {
   Conv2dKernel k(10, 34);  // 8 output rows = 2 per hart, tail columns
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
-  EXPECT_NEAR(m.arithmetic_intensity, 0.45, 0.1);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
+  EXPECT_AI_NEAR(m, 0.45, 0.1);
 }
 
 TEST_P(ExtKernelOnMp4, Jacobi2dVerifies) {
   Jacobi2dKernel k(10, 34);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
-  EXPECT_NEAR(m.arithmetic_intensity, 0.2, 0.05);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
+  EXPECT_AI_NEAR(m, 0.2, 0.05);
 }
 
 TEST_P(ExtKernelOnMp4, TransposeVerifies) {
   TransposeKernel k(24);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
   EXPECT_DOUBLE_EQ(m.flops, 0.0);  // pure data movement
 }
 
-INSTANTIATE_TEST_SUITE_P(BaselineGf2Gf4, ExtKernelOnMp4, ::testing::Values(0u, 2u, 4u),
-                         [](const ::testing::TestParamInfo<unsigned>& info) {
-                           return info.param == 0 ? "baseline"
-                                                  : "gf" + std::to_string(info.param);
-                         });
+TCDM_INSTANTIATE_BURST_SWEEP(ExtKernelOnMp4);
 
 // ---- shape sweeps (strip-mine tails, row counts not divisible by harts) ----
 
@@ -77,9 +60,8 @@ class GemvShapes
 TEST_P(GemvShapes, Verifies) {
   const auto [m_rows, n_cols, r] = GetParam();
   GemvKernel k(m_rows, n_cols, r);
-  const KernelMetrics m = run(ClusterConfig::mp4spatz4().with_burst(4), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(mp4_config(4), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -100,17 +82,15 @@ class GridShapes : public ::testing::TestWithParam<std::pair<unsigned, unsigned>
 TEST_P(GridShapes, Conv2dVerifies) {
   const auto [h, w] = GetParam();
   Conv2dKernel k(h, w);
-  const KernelMetrics m = run(ClusterConfig::mp4spatz4().with_burst(4), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(mp4_config(4), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 TEST_P(GridShapes, Jacobi2dVerifies) {
   const auto [h, w] = GetParam();
   Jacobi2dKernel k(h, w);
-  const KernelMetrics m = run(ClusterConfig::mp4spatz4().with_burst(4), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
+  const KernelMetrics m = run_capped(mp4_config(4), k);
+  EXPECT_KERNEL_OK(m);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -127,7 +107,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(TransposeShapes, NonPow2AndTiny) {
   for (const unsigned n : {1u, 3u, 12u, 20u}) {
     TransposeKernel k(n);
-    const KernelMetrics m = run(ClusterConfig::mp4spatz4().with_burst(4), k);
+    const KernelMetrics m = run_capped(mp4_config(4), k);
     EXPECT_TRUE(m.verified) << "n=" << n;
   }
 }
@@ -148,32 +128,31 @@ TEST(ExtKernelArgs, RejectBadShapes) {
 
 TEST(ExtKernelPerf, BurstSpeedsUpMemoryBoundJacobi) {
   Jacobi2dKernel k1(18, 130), k2(18, 130);
-  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
-  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
-  ASSERT_TRUE(base.verified);
-  ASSERT_TRUE(gf4.verified);
+  const KernelMetrics base = run_capped(mp4_config(), k1);
+  const KernelMetrics gf4 = run_capped(mp4_config(4), k2);
+  ASSERT_KERNEL_OK(base);
+  ASSERT_KERNEL_OK(gf4);
   // AI 0.2 FLOP/B is deep in the memory-bound region; the load-side burst
   // win must show (4 of 5 accesses per point are loads).
-  EXPECT_GT(gf4.flops_per_cycle, 1.3 * base.flops_per_cycle)
-      << "baseline cycles=" << base.cycles << " gf4 cycles=" << gf4.cycles;
+  EXPECT_SPEEDUP_GE(base, gf4, 1.3);
 }
 
 TEST(ExtKernelPerf, BurstSpeedsUpGemv) {
   // 32x256 fp32 = 32 KiB of A: half of MP4's 64 KiB TCDM.
   GemvKernel k1(32, 256), k2(32, 256);
-  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
-  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
-  ASSERT_TRUE(base.verified);
-  ASSERT_TRUE(gf4.verified);
-  EXPECT_GT(gf4.flops_per_cycle, 1.3 * base.flops_per_cycle);
+  const KernelMetrics base = run_capped(mp4_config(), k1);
+  const KernelMetrics gf4 = run_capped(mp4_config(4), k2);
+  ASSERT_KERNEL_OK(base);
+  ASSERT_KERNEL_OK(gf4);
+  EXPECT_SPEEDUP_GE(base, gf4, 1.3);
 }
 
 TEST(ExtKernelPerf, TransposeGainsBoundedByStorePath) {
   TransposeKernel k1(64), k2(64);
-  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
-  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
-  ASSERT_TRUE(base.verified);
-  ASSERT_TRUE(gf4.verified);
+  const KernelMetrics base = run_capped(mp4_config(), k1);
+  const KernelMetrics gf4 = run_capped(mp4_config(4), k2);
+  ASSERT_KERNEL_OK(base);
+  ASSERT_KERNEL_OK(gf4);
   // Loads burst but the strided store path stays serialized, so transpose
   // must improve strictly less than a loads-only probe would (and never
   // regress).

@@ -5,20 +5,17 @@
 // strided-burst extension, never from the paper's VLE-keyed design.
 #include <gtest/gtest.h>
 
-#include "src/cluster/kernel_runner.hpp"
 #include "src/isa/disasm.hpp"
 #include "src/kernels/golden.hpp"
 #include "src/kernels/maxpool.hpp"
 #include "src/kernels/relu.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
-KernelMetrics run(const ClusterConfig& cfg, Kernel& k) {
-  RunnerOptions opts;
-  opts.max_cycles = 5'000'000;
-  return run_kernel(cfg, k, opts);
-}
+using test::mp4_config;
+using test::run_capped;
 
 // ---- vfmax/vfmin semantics through a tiny program ----
 
@@ -92,35 +89,23 @@ TEST(MlGolden, ReluAndMaxpoolBasics) {
 
 // ---- kernels across configurations ----
 
-class MlKernelOnMp4 : public ::testing::TestWithParam<unsigned> {
- protected:
-  ClusterConfig config() const {
-    ClusterConfig cfg = ClusterConfig::mp4spatz4();
-    return GetParam() == 0 ? cfg : cfg.with_burst(GetParam());
-  }
-};
+using MlKernelOnMp4 = test::BurstSweepTest;
 
 TEST_P(MlKernelOnMp4, ReluVerifies) {
   ReluKernel k(2048);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
-  EXPECT_NEAR(m.arithmetic_intensity, 0.125, 0.02);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
+  EXPECT_AI_NEAR(m, 0.125, 0.02);
 }
 
 TEST_P(MlKernelOnMp4, MaxPoolVerifies) {
   MaxPoolKernel k(16, 48);
-  const KernelMetrics m = run(config(), k);
-  EXPECT_FALSE(m.timed_out);
-  EXPECT_TRUE(m.verified);
-  EXPECT_NEAR(m.arithmetic_intensity, 0.15, 0.03);
+  const KernelMetrics m = run_capped(config(), k);
+  EXPECT_KERNEL_OK(m);
+  EXPECT_AI_NEAR(m, 0.15, 0.03);
 }
 
-INSTANTIATE_TEST_SUITE_P(BaselineGf2Gf4, MlKernelOnMp4, ::testing::Values(0u, 2u, 4u),
-                         [](const ::testing::TestParamInfo<unsigned>& info) {
-                           return info.param == 0 ? "baseline"
-                                                  : "gf" + std::to_string(info.param);
-                         });
+TCDM_INSTANTIATE_BURST_SWEEP(MlKernelOnMp4);
 
 TEST(MlKernelArgs, RejectOddShapes) {
   EXPECT_THROW(MaxPoolKernel(7, 8), std::invalid_argument);
@@ -132,10 +117,10 @@ TEST(MlKernelArgs, RejectOddShapes) {
 
 TEST(MlKernelPerf, BurstSpeedsUpRelu) {
   ReluKernel k1(4096), k2(4096);
-  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
-  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
-  ASSERT_TRUE(base.verified);
-  ASSERT_TRUE(gf4.verified);
+  const KernelMetrics base = run_capped(mp4_config(), k1);
+  const KernelMetrics gf4 = run_capped(mp4_config(4), k2);
+  ASSERT_KERNEL_OK(base);
+  ASSERT_KERNEL_OK(gf4);
   // AI 0.125: deeply memory-bound, loads are half the traffic.
   EXPECT_GT(base.cycles, 1.3 * gf4.cycles);
 }
@@ -144,13 +129,12 @@ TEST(MlKernelPerf, MaxPoolNeedsTheStridedExtension) {
   // All loads are stride-2 vlse32: the paper's VLE-keyed bursts do nothing;
   // the strided-burst extension coalesces them pairwise.
   MaxPoolKernel k1(32, 64), k2(32, 64), k3(32, 64);
-  const KernelMetrics base = run(ClusterConfig::mp4spatz4(), k1);
-  const KernelMetrics gf4 = run(ClusterConfig::mp4spatz4().with_burst(4), k2);
-  const KernelMetrics ext =
-      run(ClusterConfig::mp4spatz4().with_burst(4).with_strided_bursts(), k3);
-  ASSERT_TRUE(base.verified);
-  ASSERT_TRUE(gf4.verified);
-  ASSERT_TRUE(ext.verified);
+  const KernelMetrics base = run_capped(mp4_config(), k1);
+  const KernelMetrics gf4 = run_capped(mp4_config(4), k2);
+  const KernelMetrics ext = run_capped(mp4_config(4).with_strided_bursts(), k3);
+  ASSERT_KERNEL_OK(base);
+  ASSERT_KERNEL_OK(gf4);
+  ASSERT_KERNEL_OK(ext);
   const double plain_gain = static_cast<double>(base.cycles) / gf4.cycles;
   const double ext_gain = static_cast<double>(base.cycles) / ext.cycles;
   EXPECT_LT(plain_gain, 1.1);      // VLE-keyed bursts barely move it

@@ -1,0 +1,156 @@
+// Golden-value regression tests for the analytical models, asserted against
+// expectations computed BY HAND from the paper's closed forms (§II-B
+// eqs. 1-5 and the Fig. 3 roofline definition) — deliberately not derived
+// by calling the model back. These pin the arithmetic so a refactor of the
+// analytics layer cannot silently bend Table I or the roofline roofs.
+//
+// Hand derivations used below (K ports, NPE cores, grouping factor GF):
+//   eq.(1) peak         = 4K B/cycle
+//   eq.(2) local tile   = 4K B/cycle
+//   eq.(3) remote       = 4*min(GF, K) B/cycle
+//   eq.(4) p_local      = 1/NPE
+//   eq.(5) hier average = p_local*4K + (1 - p_local)*4*min(GF, K)
+//   roofline: peak_gflops = 2*NPE*K*f, ideal_bw = 4K*NPE*f, knee = peak/bw.
+#include <gtest/gtest.h>
+
+#include "src/analytics/bandwidth_model.hpp"
+#include "src/analytics/roofline.hpp"
+#include "tests/support/test_support.hpp"
+
+namespace tcdm {
+namespace {
+
+// ---------------------------------------------- bandwidth model primitives --
+
+TEST(ModelGolden, PeakAndLocalBandwidth) {
+  // eq. (1)/(2): 4 bytes per port per cycle.
+  EXPECT_DOUBLE_EQ(model::vlsu_peak_bw(1), 4.0);
+  EXPECT_DOUBLE_EQ(model::vlsu_peak_bw(4), 16.0);
+  EXPECT_DOUBLE_EQ(model::vlsu_peak_bw(8), 32.0);
+  EXPECT_DOUBLE_EQ(model::local_tile_bw(4), 16.0);
+  EXPECT_DOUBLE_EQ(model::local_tile_bw(8), 32.0);
+}
+
+TEST(ModelGolden, RemoteBandwidthIsGfWordsCappedAtPorts) {
+  // eq. (3): baseline (GF=1) serializes at one word = 4 B/cycle.
+  EXPECT_DOUBLE_EQ(model::remote_hier_bw(4, 1), 4.0);
+  EXPECT_DOUBLE_EQ(model::remote_hier_bw(4, 2), 8.0);
+  EXPECT_DOUBLE_EQ(model::remote_hier_bw(4, 4), 16.0);
+  // GF beyond K is capped by the VLSU width: min(4*8, 4*4) = 16.
+  EXPECT_DOUBLE_EQ(model::remote_hier_bw(4, 8), 16.0);
+  EXPECT_DOUBLE_EQ(model::remote_hier_bw(8, 2), 8.0);
+}
+
+TEST(ModelGolden, LocalProbability) {
+  // eq. (4): uniform destinations, one home tile out of NPE.
+  EXPECT_DOUBLE_EQ(model::p_local(4), 0.25);
+  EXPECT_DOUBLE_EQ(model::p_local(64), 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(model::p_local(128), 0.0078125);
+}
+
+TEST(ModelGolden, HierarchicalAverageHandComputed) {
+  // eq. (5), MP4Spatz4 baseline: 1/4*16 + 3/4*4 = 4 + 3 = 7 B/cycle.
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(4, 4, 1), 7.0);
+  // MP4Spatz4 GF2: 1/4*16 + 3/4*8 = 4 + 6 = 10.
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(4, 4, 2), 10.0);
+  // MP4Spatz4 GF4: 1/4*16 + 3/4*16 = 16 (the full peak).
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(4, 4, 4), 16.0);
+  // MP64Spatz4 baseline: 1/64*16 + 63/64*4 = 0.25 + 3.9375 = 4.1875.
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(64, 4, 1), 4.1875);
+  // MP64Spatz4 GF2: 1/64*16 + 63/64*8 = 0.25 + 7.875 = 8.125.
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(64, 4, 2), 8.125);
+  // MP128Spatz8 baseline: 1/128*32 + 127/128*4 = 0.25 + 3.96875 = 4.21875.
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(128, 8, 1), 4.21875);
+  // MP128Spatz8 GF2: 1/128*32 + 127/128*8 = 0.25 + 7.9375 = 8.1875.
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(128, 8, 2), 8.1875);
+  // MP128Spatz8 GF4: 1/128*32 + 127/128*16 = 0.25 + 15.875 = 16.125.
+  EXPECT_DOUBLE_EQ(model::hier_avg_bw(128, 8, 4), 16.125);
+}
+
+TEST(ModelGolden, UtilizationAndImprovementHandComputed) {
+  // util = hier_avg / peak: MP4 baseline 7/16 = 0.4375.
+  EXPECT_DOUBLE_EQ(model::utilization(4, 4, 1), 0.4375);
+  // MP128 GF4: 16.125/32 = 0.50390625.
+  EXPECT_DOUBLE_EQ(model::utilization(128, 8, 4), 0.50390625);
+  // improvement = gf/baseline - 1: MP4 GF2 = 10/7 - 1 = 3/7.
+  EXPECT_DOUBLE_EQ(model::improvement(4, 4, 2), 10.0 / 7.0 - 1.0);
+  // MP4 GF4 = 16/7 - 1 = 9/7.
+  EXPECT_DOUBLE_EQ(model::improvement(4, 4, 4), 16.0 / 7.0 - 1.0);
+  // Baseline against itself is zero by definition.
+  EXPECT_DOUBLE_EQ(model::improvement(64, 4, 1), 0.0);
+}
+
+TEST(ModelGolden, Table1ColumnMatchesPrimitives) {
+  // The column assembler must agree with the primitives it aggregates.
+  const auto c = model::table1_column(test::mp4_config());
+  EXPECT_EQ(c.npe, 4u);
+  EXPECT_EQ(c.k, 4u);
+  EXPECT_DOUBLE_EQ(c.peak, 16.0);
+  EXPECT_DOUBLE_EQ(c.baseline_bw, 7.0);
+  EXPECT_DOUBLE_EQ(c.baseline_util, 0.4375);
+  EXPECT_DOUBLE_EQ(c.gf2_bw, 10.0);
+  EXPECT_DOUBLE_EQ(c.gf2_improvement, 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(c.gf4_bw, 16.0);
+  EXPECT_DOUBLE_EQ(c.gf4_improvement, 9.0 / 7.0);
+}
+
+TEST(ModelGolden, Table1AllCoversTheThreePresets) {
+  const auto all = model::table1_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].config, "mp4spatz4");
+  EXPECT_EQ(all[1].config, "mp64spatz4");
+  EXPECT_EQ(all[2].config, "mp128spatz8");
+  EXPECT_DOUBLE_EQ(all[1].baseline_bw, 4.1875);
+  EXPECT_DOUBLE_EQ(all[2].gf4_bw, 16.125);
+}
+
+// ------------------------------------------------------------- roofline ----
+
+TEST(RooflineGolden, RoofsHandComputedForMp4) {
+  // MP4Spatz4: 16 FPUs * 2 FLOP = 32 FLOP/cyc; 0.77 GHz -> 24.64 GFLOPS.
+  // Ideal BW: 16 B/cyc/core * 4 cores = 64 B/cyc -> 49.28 GB/s.
+  const Roofline rl = make_roofline(test::mp4_config());
+  EXPECT_DOUBLE_EQ(rl.peak_gflops, 32.0 * 0.77);
+  EXPECT_DOUBLE_EQ(rl.ideal_bw_gbps, 64.0 * 0.77);
+  EXPECT_DOUBLE_EQ(rl.measured_bw_gbps, 0.0);  // unset without a probe
+}
+
+TEST(RooflineGolden, RoofsHandComputedForMp128) {
+  // MP128Spatz8 closes timing at 634 MHz (ss corner): 1024 FPUs * 2 FLOP *
+  // 0.634 GHz = 1298.432 GFLOPS; 32 B/cyc/core * 128 cores * 0.634 GHz.
+  const Roofline rl = make_roofline(ClusterConfig::mp128spatz8(), 4.21875 * 128);
+  EXPECT_DOUBLE_EQ(rl.peak_gflops, 2048.0 * 0.634);
+  EXPECT_DOUBLE_EQ(rl.ideal_bw_gbps, 4096.0 * 0.634);
+  // Measured roof: the baseline hierarchical average aggregated over cores
+  // (4.21875 B/cyc/core * 128 = 540 B/cyc).
+  EXPECT_DOUBLE_EQ(rl.measured_bw_gbps, 540.0 * 0.634);
+}
+
+TEST(RooflineGolden, AttainableIsMinOfRoofAndLinearRamp) {
+  const Roofline rl = make_roofline(test::mp4_config(), 7.0 * 4);
+  // Knee of the ideal roof: 24.64 / 49.28 = 0.5 FLOP/B exactly.
+  EXPECT_DOUBLE_EQ(rl.knee(rl.ideal_bw_gbps), 0.5);
+  // Memory-bound side is linear: at AI 0.25, 0.25 * 49.28 = 12.32.
+  EXPECT_DOUBLE_EQ(rl.attainable_ideal(0.25), 12.32);
+  // Compute-bound side is flat at the peak.
+  EXPECT_DOUBLE_EQ(rl.attainable_ideal(2.0), rl.peak_gflops);
+  EXPECT_DOUBLE_EQ(rl.attainable_ideal(64.0), rl.peak_gflops);
+  // The measured roof (28 B/cyc -> 21.56 GB/s) sits below the ideal one.
+  EXPECT_DOUBLE_EQ(rl.attainable_measured(0.25), 0.25 * 28.0 * 0.77);
+  EXPECT_LT(rl.attainable_measured(0.25), rl.attainable_ideal(0.25));
+}
+
+TEST(RooflineGolden, CsvCarriesRoofsAndSamples) {
+  const Roofline rl = make_roofline(test::mp4_config(), 28.0);
+  const std::string csv = roofline_csv(rl, {{"dotp", 0.25, 10.0}});
+  EXPECT_NE(csv.find("series,ai,gflops"), std::string::npos);
+  EXPECT_NE(csv.find("ideal,"), std::string::npos);
+  EXPECT_NE(csv.find("measured,"), std::string::npos);
+  EXPECT_NE(csv.find("dotp,0.25,10"), std::string::npos);
+  // Without a measured roof the measured series must be absent.
+  const Roofline bare = make_roofline(test::mp4_config());
+  EXPECT_EQ(roofline_csv(bare, {}).find("measured,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -7,27 +7,16 @@
 
 #include "src/cluster/cluster.hpp"
 #include "src/isa/program.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
-ClusterConfig one_tile() {
-  ClusterConfig c;
-  c.name = "one";
-  c.num_tiles = 1;
-  c.vlsu_ports = 4;
-  c.vlen_bits = 128;
-  c.banks_per_tile = 4;
-  c.bank_words = 256;
-  c.level_sizes = {1};
-  c.level_latency = {{1, 1}};
-  c.start_stagger_cycles = 0;
-  return c;
-}
+using test::one_tile_config;
 
 /// Runs a program on one hart and returns the finished cluster.
 std::unique_ptr<Cluster> run_prog(ProgramBuilder& pb, Cycle max_cycles = 50'000) {
-  auto cluster = std::make_unique<Cluster>(one_tile());
+  auto cluster = std::make_unique<Cluster>(one_tile_config());
   cluster->load_program(pb.build());
   EXPECT_TRUE(cluster->run(max_cycles).all_halted);
   return cluster;
@@ -224,7 +213,7 @@ TEST(Snitch, MisalignedScalarAccessThrows) {
   pb.li(t6, 2);  // misaligned
   pb.lw(a2, t6, 0);
   pb.halt();
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   cluster.load_program(pb.build());
   EXPECT_THROW((void)cluster.run(1'000), std::runtime_error);
 }
@@ -234,7 +223,7 @@ TEST(Snitch, OutOfRangeAccessThrows) {
   pb.li(t6, 1 << 20);  // beyond 4 KiB of one tile
   pb.lw(a2, t6, 0);
   pb.halt();
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   cluster.load_program(pb.build());
   EXPECT_THROW((void)cluster.run(1'000), std::runtime_error);
 }

@@ -8,23 +8,13 @@
 
 #include "src/cluster/cluster.hpp"
 #include "src/isa/program.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
-ClusterConfig one_tile() {
-  ClusterConfig c;
-  c.name = "one";
-  c.num_tiles = 1;
-  c.vlsu_ports = 4;
-  c.vlen_bits = 128;  // vlmax: m1=4, m2=8, m4=16, m8=32
-  c.banks_per_tile = 4;
-  c.bank_words = 256;
-  c.level_sizes = {1};
-  c.level_latency = {{1, 1}};
-  c.start_stagger_cycles = 0;
-  return c;
-}
+// Single-tile config (vlmax: m1=4, m2=8, m4=16, m8=32 at VLEN 128).
+using test::one_tile_config;
 
 constexpr Addr kX = 0x100, kY = 0x200, kZ = 0x300;
 
@@ -38,7 +28,7 @@ void preload(Cluster& c) {
 
 /// Runs: load x->v8, y->v16, apply `body`, store v24 -> kZ (vl=8, m2).
 std::vector<float> run_binary_op(void (*body)(ProgramBuilder&), unsigned vl = 8) {
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   ProgramBuilder pb;
   pb.li(t0, static_cast<std::int32_t>(vl));
@@ -106,7 +96,7 @@ TEST(Spatz, VfScalarForms) {
 }
 
 TEST(Spatz, VsetvliClampsToVlmax) {
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   ProgramBuilder pb;
   pb.li(t0, 1000);
   pb.vsetvli(a2, t0, Lmul::m1);
@@ -128,7 +118,7 @@ TEST(Spatz, VsetvliClampsToVlmax) {
 TEST(Spatz, LmulGroupSpansRegisters) {
   // m4 load of 16 elements writes v8..v11; reading v10 as m1 (elements
   // 8..11) must see the loaded values.
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   ProgramBuilder pb;
   pb.li(t0, 16);
@@ -148,7 +138,7 @@ TEST(Spatz, LmulGroupSpansRegisters) {
 }
 
 TEST(Spatz, ReductionSumsWholeVector) {
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   ProgramBuilder pb;
   pb.li(t0, 16);
@@ -172,7 +162,7 @@ TEST(Spatz, ReductionSumsWholeVector) {
 TEST(Spatz, ChainingStartsBeforeLoadCompletes) {
   // A dependent vfadd chained on a vle32 must finish well before the
   // non-chained bound (load fully retires, then add runs).
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   ProgramBuilder pb;
   pb.li(t0, 32);
@@ -198,7 +188,7 @@ TEST(Spatz, ChainingStartsBeforeLoadCompletes) {
 TEST(Spatz, WawHazardSerializesWriters) {
   // Two loads into the same register group: the second must wait; the final
   // stored values are from the second load.
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   ProgramBuilder pb;
   pb.li(t0, 8);
@@ -219,7 +209,7 @@ TEST(Spatz, WawHazardSerializesWriters) {
 
 TEST(Spatz, PartialTailVectorLength) {
   // vl = 5 with m2: only five elements move.
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   for (unsigned i = 0; i < 8; ++i) cluster.write_f32(kZ + 4 * i, -1.0f);
   ProgramBuilder pb;
@@ -239,7 +229,7 @@ TEST(Spatz, PartialTailVectorLength) {
 }
 
 TEST(Spatz, ScatterWritesIndexedElements) {
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   const Word offs[4] = {12, 0, 8, 4};  // byte offsets: reverse order
   for (unsigned i = 0; i < 4; ++i) cluster.write_word(0x80 + 4 * i, offs[i]);
@@ -262,7 +252,7 @@ TEST(Spatz, ScatterWritesIndexedElements) {
 }
 
 TEST(Spatz, StridedStoreWritesEveryOtherWord) {
-  Cluster cluster(one_tile());
+  Cluster cluster(one_tile_config());
   preload(cluster);
   for (unsigned i = 0; i < 8; ++i) cluster.write_f32(kZ + 4 * i, 0.0f);
   ProgramBuilder pb;

@@ -8,6 +8,7 @@
 #include "src/analytics/timeline.hpp"
 #include "src/kernels/dotp.hpp"
 #include "src/kernels/probes.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -24,12 +25,12 @@ TimelineResult record_dotp(unsigned interval, const ClusterConfig& cfg,
 }
 
 TEST(Timeline, RejectsZeroInterval) {
-  Cluster cluster(ClusterConfig::mp4spatz4());
+  Cluster cluster(test::mp4_config());
   EXPECT_THROW((void)record_timeline(cluster, 0), std::invalid_argument);
 }
 
 TEST(Timeline, RunsToCompletionAndCoversAllCycles) {
-  const TimelineResult t = record_dotp(50, ClusterConfig::mp4spatz4());
+  const TimelineResult t = record_dotp(50, test::mp4_config());
   EXPECT_TRUE(t.all_halted);
   EXPECT_GT(t.total_cycles, 0u);
   ASSERT_FALSE(t.samples.empty());
@@ -38,7 +39,7 @@ TEST(Timeline, RunsToCompletionAndCoversAllCycles) {
 
 TEST(Timeline, SampleDeltasSumToClusterTotals) {
   Cluster* cluster = nullptr;
-  const TimelineResult t = record_dotp(64, ClusterConfig::mp4spatz4(), &cluster);
+  const TimelineResult t = record_dotp(64, test::mp4_config(), &cluster);
   ASSERT_NE(cluster, nullptr);
   double loaded = 0, stored = 0, flops = 0;
   for (const TimelineSample& s : t.samples) {
@@ -54,7 +55,7 @@ TEST(Timeline, SampleDeltasSumToClusterTotals) {
 
 TEST(Timeline, SamplesAreIntervalSpaced) {
   const unsigned interval = 37;  // deliberately not a divisor of the runtime
-  const TimelineResult t = record_dotp(interval, ClusterConfig::mp4spatz4());
+  const TimelineResult t = record_dotp(interval, test::mp4_config());
   ASSERT_GE(t.samples.size(), 2u);
   for (std::size_t i = 0; i + 1 < t.samples.size(); ++i) {
     EXPECT_EQ(t.samples[i].cycle, (i + 1) * interval);
@@ -64,19 +65,19 @@ TEST(Timeline, SamplesAreIntervalSpaced) {
 }
 
 TEST(Timeline, PeakIsAtLeastAverage) {
-  const TimelineResult t = record_dotp(50, ClusterConfig::mp4spatz4().with_burst(4));
+  const TimelineResult t = record_dotp(50, test::mp4_config().with_burst(4));
   EXPECT_GE(t.peak_bw(), t.avg_bw());
   EXPECT_GT(t.peak_bw(), 0.0);
 }
 
 TEST(Timeline, BurstRaisesAverageBandwidth) {
-  const TimelineResult base = record_dotp(50, ClusterConfig::mp4spatz4());
-  const TimelineResult gf4 = record_dotp(50, ClusterConfig::mp4spatz4().with_burst(4));
+  const TimelineResult base = record_dotp(50, test::mp4_config());
+  const TimelineResult gf4 = record_dotp(50, test::mp4_config().with_burst(4));
   EXPECT_GT(gf4.avg_bw(), base.avg_bw());
 }
 
 TEST(Timeline, CsvHasHeaderAndOneRowPerSample) {
-  const TimelineResult t = record_dotp(100, ClusterConfig::mp4spatz4());
+  const TimelineResult t = record_dotp(100, test::mp4_config());
   std::ostringstream os;
   write_timeline_csv(os, t);
   const std::string text = os.str();
@@ -87,7 +88,7 @@ TEST(Timeline, CsvHasHeaderAndOneRowPerSample) {
 }
 
 TEST(Timeline, ChromeTraceIsBalancedJsonArray) {
-  const TimelineResult t = record_dotp(100, ClusterConfig::mp4spatz4());
+  const TimelineResult t = record_dotp(100, test::mp4_config());
   std::ostringstream os;
   write_timeline_chrome_trace(os, t, "bw");
   const std::string text = os.str();
@@ -107,7 +108,7 @@ TEST(Timeline, ChromeTraceIsBalancedJsonArray) {
 }
 
 TEST(Timeline, HonorsMaxCycles) {
-  Cluster cluster(ClusterConfig::mp4spatz4());
+  Cluster cluster(test::mp4_config());
   RandomProbeKernel probe(512);  // long-running (but fits the address table)
   probe.setup(cluster);
   const TimelineResult t = record_timeline(cluster, 10, /*max_cycles=*/200);

@@ -6,8 +6,8 @@
 
 #include <sstream>
 
-#include "src/cluster/kernel_runner.hpp"
 #include "src/kernels/trace_replay.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -40,7 +40,7 @@ TEST(TraceFormat, SkipsCommentsAndRejectsGarbage) {
 }
 
 TEST(TraceGenerator, ProducesInBoundsEntriesForEveryPattern) {
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  const ClusterConfig cfg = test::mp4_config();
   const AddressMap map = cfg.address_map();
   for (const TracePattern p : {TracePattern::kUniform, TracePattern::kHotspot,
                                TracePattern::kLocal, TracePattern::kNeighbor}) {
@@ -59,7 +59,7 @@ TEST(TraceGenerator, ProducesInBoundsEntriesForEveryPattern) {
 }
 
 TEST(TraceGenerator, LocalPatternStaysInTheHartsTile) {
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  const ClusterConfig cfg = test::mp4_config();
   const AddressMap map = cfg.address_map();
   TraceConfig tc;
   tc.pattern = TracePattern::kLocal;
@@ -70,7 +70,7 @@ TEST(TraceGenerator, LocalPatternStaysInTheHartsTile) {
 }
 
 TEST(TraceGenerator, HotspotConcentratesOnTheHotTile) {
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  const ClusterConfig cfg = test::mp4_config();
   const AddressMap map = cfg.address_map();
   TraceConfig tc;
   tc.pattern = TracePattern::kHotspot;
@@ -88,7 +88,7 @@ TEST(TraceGenerator, HotspotConcentratesOnTheHotTile) {
 }
 
 TEST(TraceGenerator, RejectsBadParameters) {
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  const ClusterConfig cfg = test::mp4_config();
   TraceConfig too_long;
   too_long.access_len = cfg.vlen_bits / 32 * 8 + 1;
   EXPECT_THROW((void)synthetic_trace(cfg, too_long), std::invalid_argument);
@@ -99,7 +99,7 @@ TEST(TraceGenerator, RejectsBadParameters) {
 }
 
 TEST(TraceReplay, SetupRejectsMalformedTraces) {
-  Cluster cluster(ClusterConfig::mp4spatz4());
+  Cluster cluster(test::mp4_config());
   {
     TraceReplayKernel k({{99, false, 0, 4}});  // bad hart
     EXPECT_THROW(k.setup(cluster), std::invalid_argument);
@@ -116,7 +116,7 @@ TEST(TraceReplay, SetupRejectsMalformedTraces) {
 }
 
 TEST(TraceReplay, EveryTraceWordMovesExactlyOnce) {
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4().with_burst(4);
+  const ClusterConfig cfg = test::mp4_config(4);
   TraceConfig tc;
   tc.entries_per_hart = 24;
   tc.write_fraction = 0.25;
@@ -136,7 +136,7 @@ TEST(TraceReplay, EveryTraceWordMovesExactlyOnce) {
 }
 
 TEST(TraceReplay, StorePayloadActuallyLands) {
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  const ClusterConfig cfg = test::mp4_config();
   // Hart 3 writes 4 words at a known address; the payload is the hart id
   // splat across the vector (raw bits, moved via fmv.w.x).
   std::vector<TraceEntry> trace{{3, true, 0x80, 4}};
@@ -154,16 +154,14 @@ TEST(TraceReplay, StorePayloadActuallyLands) {
 TEST(TraceReplay, ContentionOrderingAcrossPatterns) {
   // Local traffic must beat neighbor (remote but conflict-free), which must
   // beat hotspot (every hart hammering one tile's banks and ports).
-  const ClusterConfig cfg = ClusterConfig::mp4spatz4();
+  const ClusterConfig cfg = test::mp4_config();
   const auto bw_of = [&](TracePattern p) {
     TraceConfig tc;
     tc.pattern = p;
     tc.entries_per_hart = 64;
     tc.seed = 23;
     TraceReplayKernel k(synthetic_trace(cfg, tc));
-    RunnerOptions opts;
-    opts.verify = false;
-    return run_kernel(cfg, k, opts).bw_per_core;
+    return test::run_unverified(cfg, k).bw_per_core;
   };
   const double local = bw_of(TracePattern::kLocal);
   const double neighbor = bw_of(TracePattern::kNeighbor);
@@ -173,15 +171,13 @@ TEST(TraceReplay, ContentionOrderingAcrossPatterns) {
 }
 
 TEST(TraceReplay, BurstLiftsUniformTraceBandwidth) {
-  const ClusterConfig base = ClusterConfig::mp4spatz4();
+  const ClusterConfig base = test::mp4_config();
   TraceConfig tc;
   tc.entries_per_hart = 64;
   const std::vector<TraceEntry> trace = synthetic_trace(base, tc);
-  RunnerOptions opts;
-  opts.verify = false;
   TraceReplayKernel k1(trace), k2(trace);
-  const double bw_base = run_kernel(base, k1, opts).bw_per_core;
-  const double bw_gf4 = run_kernel(base.with_burst(4), k2, opts).bw_per_core;
+  const double bw_base = test::run_unverified(base, k1).bw_per_core;
+  const double bw_gf4 = test::run_unverified(base.with_burst(4), k2).bw_per_core;
   EXPECT_GT(bw_gf4, 1.4 * bw_base);
 }
 
