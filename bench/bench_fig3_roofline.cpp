@@ -45,22 +45,39 @@ std::unique_ptr<Kernel> make_kernel(const std::string& preset, const std::string
 
 unsigned burst_gf(const std::string& preset) { return preset == "mp128spatz8" ? 2 : 4; }
 
+struct PointSetup {
+  std::string key;
+  ClusterConfig cfg;
+  std::unique_ptr<Kernel> kernel;
+  RunnerOptions opts;
+};
+
+PointSetup make_point(const std::string& preset, const std::string& which, unsigned gf) {
+  PointSetup s;
+  s.key = preset + "/" + which + "/" + std::to_string(gf);
+  s.cfg = ClusterConfig::by_name(preset);
+  if (gf) s.cfg = s.cfg.with_burst(gf);
+  s.opts.max_cycles = 50'000'000;
+  if (which == "probe") {
+    s.kernel = std::make_unique<RandomProbeKernel>(bench::probe_iters(s.cfg));
+    s.opts.verify = false;
+  } else {
+    s.kernel = make_kernel(preset, which);
+  }
+  return s;
+}
+
+/// Sim-metrics path: one run, recorded in the collector.
+KernelMetrics run_point(const std::string& preset, const std::string& which, unsigned gf) {
+  PointSetup s = make_point(preset, which, gf);
+  return bench::run_experiment(s.key, s.cfg, *s.kernel, s.opts);
+}
+
 void BM_point(benchmark::State& state, const std::string& preset, const std::string& which,
               unsigned gf) {
-  ClusterConfig cfg = ClusterConfig::by_name(preset);
-  if (gf) cfg = cfg.with_burst(gf);
-  RunnerOptions opts;
-  opts.max_cycles = 50'000'000;
-  if (which == "probe") {
-    RandomProbeKernel probe(cfg.num_cores() >= 128 ? 64 : 128);
-    opts.verify = false;
-    (void)bench::run_and_record(state, preset + "/" + which + "/" + std::to_string(gf),
-                                cfg, probe, opts);
-    return;
-  }
-  const auto kernel = make_kernel(preset, which);
-  (void)bench::run_and_record(state, preset + "/" + which + "/" + std::to_string(gf), cfg,
-                              *kernel, opts);
+  // Setup stays outside the timed loop so reported times are simulator-only.
+  PointSetup s = make_point(preset, which, gf);
+  (void)bench::run_and_record(state, s.key, s.cfg, *s.kernel, s.opts);
 }
 
 void register_benchmarks() {
@@ -119,15 +136,51 @@ void print_fig3() {
   }
 }
 
+void run_sweep() {
+  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
+    for (const char* which : {"probe", "dotp", "fft", "matmul-s", "matmul-l"}) {
+      for (unsigned gf : {0u, burst_gf(preset)}) (void)run_point(preset, which, gf);
+    }
+  }
+}
+
+metrics::MetricsDoc sim_metrics_doc() {
+  metrics::MetricsDoc doc;
+  doc.suite = "fig3_roofline";
+  doc.description =
+      "Fig. 3: roofline roofs (FPU peak, ideal and measured hierarchical-"
+      "average bandwidth) and kernel sample points, baseline vs burst";
+  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
+    const std::string p(preset);
+    const ClusterConfig cfg = ClusterConfig::by_name(preset);
+    const unsigned gf = burst_gf(preset);
+    // The compute and ideal-bandwidth roofs depend only on the preset; only
+    // the measured (dashed) roof differs between baseline and burst.
+    const Roofline roofs = make_roofline(cfg);
+    doc.add(p + "/roofline/peak_gflops", roofs.peak_gflops, metrics::kModelRelTol);
+    doc.add(p + "/roofline/ideal_bw_gbps", roofs.ideal_bw_gbps, metrics::kModelRelTol);
+    for (unsigned g : {0u, gf}) {
+      const std::string variant = g == 0 ? "baseline" : "gf" + std::to_string(g);
+      const KernelMetrics& probe = bench::results().at(p + "/probe/" + std::to_string(g));
+      const Roofline rl = make_roofline(cfg, probe.bw_bytes_per_cycle);
+      doc.add(p + "/roofline/" + variant + "/measured_bw_gbps", rl.measured_bw_gbps,
+              metrics::kSimRelTol);
+      for (const char* which : {"dotp", "fft", "matmul-s", "matmul-l"}) {
+        const KernelMetrics& m =
+            bench::results().at(p + "/" + which + "/" + std::to_string(g));
+        const std::string prefix = p + "/" + which + "/" + variant;
+        doc.add(prefix + "/gflops_ss", m.gflops_ss, metrics::kSimRelTol);
+        doc.add(prefix + "/arithmetic_intensity", m.arithmetic_intensity,
+                metrics::kSimRelTol);
+        doc.add(prefix + "/verified", m.verified ? 1.0 : 0.0, metrics::kExactTol);
+      }
+    }
+  }
+  return doc;
+}
+
 }  // namespace
 }  // namespace tcdm
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_fig3();
-  return 0;
-}
+TCDM_BENCH_MAIN_WITH_METRICS(tcdm::register_benchmarks, tcdm::print_fig3,
+                             tcdm::run_sweep, tcdm::sim_metrics_doc)

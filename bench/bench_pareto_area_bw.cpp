@@ -23,7 +23,7 @@ void BM_pareto(benchmark::State& state, const std::string& preset, unsigned gf) 
   RunnerOptions opts;
   opts.verify = false;
   opts.max_cycles = 10'000'000;
-  RandomProbeKernel probe(cfg.num_cores() >= 128 ? 64 : 128);
+  RandomProbeKernel probe(bench::probe_iters(cfg));
   (void)bench::run_and_record(state, preset + "/gf" + std::to_string(gf), cfg, probe,
                               opts);
 }

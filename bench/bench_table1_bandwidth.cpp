@@ -17,13 +17,27 @@ ClusterConfig config_for(const std::string& preset, unsigned gf) {
   return gf == 0 ? cfg : cfg.with_burst(gf);
 }
 
-void BM_probe(benchmark::State& state, const std::string& preset, unsigned gf) {
-  const ClusterConfig cfg = config_for(preset, gf);
-  RandomProbeKernel probe(cfg.num_cores() >= 128 ? 64 : 128);
+RunnerOptions probe_opts() {
   RunnerOptions opts;
   opts.verify = false;
   opts.max_cycles = 3'000'000;
-  (void)bench::run_and_record(state, preset + "/gf" + std::to_string(gf), cfg, probe, opts);
+  return opts;
+}
+
+/// Sim-metrics path: one probe run, recorded in the collector.
+KernelMetrics run_probe(const std::string& preset, unsigned gf) {
+  const ClusterConfig cfg = config_for(preset, gf);
+  RandomProbeKernel probe(bench::probe_iters(cfg));
+  return bench::run_experiment(preset + "/gf" + std::to_string(gf), cfg, probe,
+                               probe_opts());
+}
+
+void BM_probe(benchmark::State& state, const std::string& preset, unsigned gf) {
+  // Setup stays outside the timed loop so reported times are simulator-only.
+  const ClusterConfig cfg = config_for(preset, gf);
+  RandomProbeKernel probe(bench::probe_iters(cfg));
+  (void)bench::run_and_record(state, preset + "/gf" + std::to_string(gf), cfg, probe,
+                              probe_opts());
 }
 
 void register_benchmarks() {
@@ -83,15 +97,39 @@ void print_table() {
       "hierarchical-average lines do.\n");
 }
 
+void run_sweep() {
+  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
+    for (unsigned gf : {0u, 2u, 4u}) (void)run_probe(preset, gf);
+  }
+}
+
+metrics::MetricsDoc sim_metrics_doc() {
+  metrics::MetricsDoc doc;
+  doc.suite = "table1";
+  doc.description =
+      "Table I: closed-form bandwidth model (eqs. 1-5) and simulated "
+      "random-probe bandwidth, per-VLSU B/cycle";
+  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
+    const std::string p(preset);
+    const auto col = model::table1_column(ClusterConfig::by_name(preset));
+    doc.add(p + "/model/peak", col.peak, metrics::kModelRelTol);
+    doc.add(p + "/model/baseline_bw", col.baseline_bw, metrics::kModelRelTol);
+    doc.add(p + "/model/gf2_bw", col.gf2_bw, metrics::kModelRelTol);
+    doc.add(p + "/model/gf4_bw", col.gf4_bw, metrics::kModelRelTol);
+    doc.add(p + "/model/gf2_improvement", col.gf2_improvement, metrics::kModelRelTol);
+    doc.add(p + "/model/gf4_improvement", col.gf4_improvement, metrics::kModelRelTol);
+    for (unsigned gf : {0u, 2u, 4u}) {
+      const KernelMetrics& m = bench::results().at(p + "/gf" + std::to_string(gf));
+      const std::string prefix = p + "/" + (gf == 0 ? "baseline" : "gf" + std::to_string(gf));
+      doc.add(prefix + "/sim/bw_per_core", m.bw_per_core, metrics::kSimRelTol);
+      doc.add(prefix + "/sim/cycles", static_cast<double>(m.cycles), metrics::kSimRelTol);
+    }
+  }
+  return doc;
+}
+
 }  // namespace
 }  // namespace tcdm
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_BENCH_MAIN_WITH_METRICS(tcdm::register_benchmarks, tcdm::print_table,
+                             tcdm::run_sweep, tcdm::sim_metrics_doc)

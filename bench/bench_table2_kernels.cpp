@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -20,8 +22,10 @@ struct Experiment {
   std::string preset;
   unsigned gf;  // 0 = baseline
   std::string kernel;
+  // "baseline"/"gfN" naming matches the table1 and fig3 metric paths so the
+  // recorded baselines share one vocabulary.
   std::string key() const {
-    return preset + "/" + (gf ? "gf" + std::to_string(gf) : "base") + "/" + kernel;
+    return preset + "/" + (gf ? "gf" + std::to_string(gf) : "baseline") + "/" + kernel;
   }
 };
 
@@ -51,26 +55,58 @@ std::map<std::string, PowerBreakdown>& powers() {
   return p;
 }
 
-void BM_kernel(benchmark::State& state, const Experiment& e) {
-  ClusterConfig cfg = ClusterConfig::by_name(e.preset);
-  if (e.gf) cfg = cfg.with_burst(e.gf);
-  const auto kernel = make_kernel(e.preset, e.kernel);
+/// Shared per-experiment setup so the timed benchmark path and the
+/// sim-metrics sweep can never drift apart.
+struct ExperimentSetup {
+  ClusterConfig cfg;
+  std::unique_ptr<Kernel> kernel;
   RunnerOptions opts;
-  opts.max_cycles = 50'000'000;
+};
+
+ExperimentSetup make_setup(const Experiment& e) {
+  ExperimentSetup s;
+  s.cfg = ClusterConfig::by_name(e.preset);
+  if (e.gf) s.cfg = s.cfg.with_burst(e.gf);
+  s.kernel = make_kernel(e.preset, e.kernel);
+  s.opts.max_cycles = 50'000'000;
+  return s;
+}
+
+/// One run on a fresh cluster: kernel metrics plus the activity-based power
+/// estimate. No bookkeeping — callers record outside any timed loop.
+std::pair<KernelMetrics, PowerBreakdown> run_once(const ExperimentSetup& s) {
+  Cluster cluster(s.cfg);
+  const KernelMetrics m = run_kernel_on(cluster, *s.kernel, s.opts);
+  return {m, estimate_power(cluster, m.cycles, s.cfg.freq_tt_mhz)};
+}
+
+void record(const Experiment& e, const KernelMetrics& m, const PowerBreakdown& pw) {
+  bench::results()[e.key()] = m;
+  powers()[e.key()] = pw;
+}
+
+/// Sim-metrics path.
+KernelMetrics run_experiment(const Experiment& e) {
+  const auto [m, pw] = run_once(make_setup(e));
+  record(e, m, pw);
+  return m;
+}
+
+void BM_kernel(benchmark::State& state, const Experiment& e) {
+  // Setup and recording stay outside the timed loop so reported times are
+  // simulator-only.
+  const ExperimentSetup s = make_setup(e);
   KernelMetrics m;
   PowerBreakdown pw;
   for (auto _ : state) {
-    Cluster cluster(cfg);
-    m = run_kernel_on(cluster, *kernel, opts);
-    pw = estimate_power(cluster, m.cycles, cfg.freq_tt_mhz);
+    std::tie(m, pw) = run_once(s);
   }
+  record(e, m, pw);
   state.counters["fpu_util_pct"] = 100.0 * m.fpu_util;
   state.counters["gflops_ss"] = m.gflops_ss;
   state.counters["gflops_tt"] = m.gflops_tt;
   state.counters["power_w"] = pw.total();
   state.counters["verified"] = m.verified ? 1.0 : 0.0;
-  bench::results()[e.key()] = m;
-  powers()[e.key()] = pw;
 }
 
 const std::vector<Experiment>& experiments() {
@@ -109,7 +145,7 @@ void print_table() {
                                                      {"mp64spatz4", 4u},
                                                      {"mp128spatz8", 2u}}) {
     for (const char* k : {"dotp", "fft", "matmul-s", "matmul-l"}) {
-      const std::string kb = c.first + "/base/" + k;
+      const std::string kb = c.first + "/baseline/" + k;
       const std::string kg = c.first + "/gf" + std::to_string(c.second) + "/" + k;
       const KernelMetrics& mb = bench::results()[kb];
       const KernelMetrics& mg = bench::results()[kg];
@@ -135,7 +171,7 @@ void print_table() {
                                                      {"mp64spatz4", 4u},
                                                      {"mp128spatz8", 2u}}) {
     for (const char* k : {"dotp", "fft", "matmul-s", "matmul-l"}) {
-      const auto& mb = bench::results()[c.first + "/base/" + k];
+      const auto& mb = bench::results()[c.first + "/baseline/" + k];
       const auto& mg =
           bench::results()[c.first + "/gf" + std::to_string(c.second) + "/" + k];
       if (mb.cycles == 0) continue;
@@ -149,15 +185,30 @@ void print_table() {
       "MP4Spatz4/MP64Spatz4/MP128Spatz8 respectively.\n");
 }
 
+void run_sweep() {
+  for (const Experiment& e : experiments()) (void)run_experiment(e);
+}
+
+metrics::MetricsDoc sim_metrics_doc() {
+  metrics::MetricsDoc doc;
+  doc.suite = "table2";
+  doc.description =
+      "Table II: kernel performance and energy efficiency, baseline vs TCDM "
+      "Burst (GF4 on MP4/MP64, GF2 on MP128)";
+  for (const Experiment& e : experiments()) {
+    const KernelMetrics& m = bench::results().at(e.key());
+    const PowerBreakdown& pw = powers().at(e.key());
+    doc.add_kernel_metrics(e.key(), m);
+    doc.add(e.key() + "/gflops_tt", m.gflops_tt, metrics::kSimRelTol);
+    doc.add(e.key() + "/power_w", pw.total(), metrics::kSimRelTol);
+    doc.add(e.key() + "/gflops_per_w", energy_efficiency(m.gflops_tt, pw),
+            metrics::kSimRelTol);
+  }
+  return doc;
+}
+
 }  // namespace
 }  // namespace tcdm
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_BENCH_MAIN_WITH_METRICS(tcdm::register_benchmarks, tcdm::print_table,
+                             tcdm::run_sweep, tcdm::sim_metrics_doc)

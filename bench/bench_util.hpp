@@ -8,9 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 
+#include "src/analytics/metrics_export.hpp"
 #include "src/analytics/report.hpp"
 #include "src/cluster/kernel_runner.hpp"
 
@@ -22,6 +26,84 @@ inline std::map<std::string, KernelMetrics>& results() {
   return r;
 }
 
+/// Sim-metrics mode (`--metrics-out <file>` / `--metrics-out=<file>`): run
+/// the deterministic scenario sweep directly — no google-benchmark timing
+/// loop, console reporter, or table printer — and serialize the collected
+/// metrics to a versioned JSON document for the regression gate.
+struct MetricsOut {
+  std::string path;
+  [[nodiscard]] bool enabled() const { return !path.empty(); }
+};
+
+/// Scans argv for --metrics-out and strips it (with its value) so the
+/// remaining arguments can go to benchmark::Initialize untouched.
+inline MetricsOut parse_metrics_out(int& argc, char** argv) {
+  MetricsOut mo;
+  bool flag_seen = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics-out") == 0) {
+      flag_seen = true;
+      // Only consume a real path, never a following flag.
+      if (i + 1 < argc && argv[i + 1][0] != '-') mo.path = argv[++i];
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      flag_seen = true;
+      mo.path = arg + 14;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (flag_seen && mo.path.empty()) {
+    // A present-but-valueless flag must not silently fall back to the full
+    // google-benchmark run (e.g. --metrics-out=$OUT with OUT unset).
+    std::fprintf(stderr, "%s: --metrics-out requires a file path\n", argv[0]);
+    std::exit(2);
+  }
+  return mo;
+}
+
+/// Random-probe iteration count for a configuration: scaled down on the
+/// 1024-FPU preset to bound sweep wall-clock. Shared by every bench that
+/// measures hierarchical-average bandwidth so the Table I, Fig. 3 and
+/// Pareto probes (and their recorded baselines) stay in lockstep.
+inline unsigned probe_iters(const ClusterConfig& cfg) {
+  return cfg.num_cores() >= 128 ? 64 : 128;
+}
+
+/// Run one experiment outside any benchmark::State and record it in the
+/// collector — the sim-metrics counterpart of run_and_record.
+inline KernelMetrics run_experiment(const std::string& key, const ClusterConfig& cfg,
+                                    Kernel& kernel, RunnerOptions opts = {}) {
+  KernelMetrics m = run_kernel(cfg, kernel, opts);
+  results()[key] = m;
+  return m;
+}
+
+/// Write `doc` to `path`, reporting success on stderr (stdout stays clean
+/// for table output when both modes are combined in scripts). IO failures
+/// exit 2 like the other usage errors instead of escaping main as an
+/// exception.
+inline void write_metrics(const metrics::MetricsDoc& doc, const std::string& path) {
+  try {
+    doc.write_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics-out: %s\n", e.what());
+    std::exit(2);
+  }
+  std::fprintf(stderr, "wrote %zu metrics to %s\n", doc.metrics.size(), path.c_str());
+}
+
+/// Attach the simulated metrics as counters on a google-benchmark case.
+inline void attach_counters(benchmark::State& state, const KernelMetrics& m) {
+  state.counters["sim_cycles"] = static_cast<double>(m.cycles);
+  state.counters["fpu_util_pct"] = 100.0 * m.fpu_util;
+  state.counters["bw_B_per_cyc_per_core"] = m.bw_per_core;
+  state.counters["gflops_ss"] = m.gflops_ss;
+  state.counters["verified"] = m.verified ? 1.0 : 0.0;
+}
+
 /// Run a kernel and record both google-benchmark counters and the collector.
 inline KernelMetrics run_and_record(benchmark::State& state, const std::string& key,
                                     const ClusterConfig& cfg, Kernel& kernel,
@@ -30,11 +112,7 @@ inline KernelMetrics run_and_record(benchmark::State& state, const std::string& 
   for (auto _ : state) {
     m = run_kernel(cfg, kernel, opts);
   }
-  state.counters["sim_cycles"] = static_cast<double>(m.cycles);
-  state.counters["fpu_util_pct"] = 100.0 * m.fpu_util;
-  state.counters["bw_B_per_cyc_per_core"] = m.bw_per_core;
-  state.counters["gflops_ss"] = m.gflops_ss;
-  state.counters["verified"] = m.verified ? 1.0 : 0.0;
+  attach_counters(state, m);
   results()[key] = m;
   return m;
 }
@@ -48,6 +126,28 @@ inline KernelMetrics run_and_record(benchmark::State& state, const std::string& 
     ::benchmark::Shutdown();                                         \
     print_fn();                                                      \
     return 0;                                                        \
+  }
+
+/// Main for the paper-table binaries with a sim-metrics mode. Without
+/// --metrics-out this is the usual register/run/print flow; with it, the
+/// binary runs `sweep_fn` (the same deterministic scenario sweep, plain
+/// function calls) and writes `doc_fn()` as JSON instead.
+#define TCDM_BENCH_MAIN_WITH_METRICS(register_fn, print_fn, sweep_fn, doc_fn)   \
+  int main(int argc, char** argv) {                                             \
+    const ::tcdm::bench::MetricsOut mo =                                        \
+        ::tcdm::bench::parse_metrics_out(argc, argv);                           \
+    if (mo.enabled()) {                                                         \
+      sweep_fn();                                                               \
+      ::tcdm::bench::write_metrics(doc_fn(), mo.path);                          \
+      return 0;                                                                 \
+    }                                                                           \
+    ::benchmark::Initialize(&argc, argv);                                       \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;         \
+    register_fn();                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                                      \
+    ::benchmark::Shutdown();                                                    \
+    print_fn();                                                                 \
+    return 0;                                                                   \
   }
 
 }  // namespace tcdm::bench

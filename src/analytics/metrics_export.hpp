@@ -1,0 +1,77 @@
+// Structured export of simulated paper metrics (Table I / Table II / Fig. 3
+// results) to a stable, versioned JSON schema — the wire format between the
+// bench binaries' sim-metrics mode, the recorded baselines/ files, and the
+// check_regression comparator.
+//
+// Schema (version 1):
+//   {
+//     "schema": "tcdm-metrics",
+//     "schema_version": 1,
+//     "suite": "table1",
+//     "description": "free text",
+//     "metrics": {
+//       "mp4spatz4/gf4/sim/bw_per_core": {"value": 13.9, "rel_tol": 0.02},
+//       ...
+//     }
+//   }
+// Metric names are hierarchical `/`-joined paths so the comparator's delta
+// table groups naturally. Every metric carries its own relative tolerance;
+// a baseline therefore documents how much drift each figure may accumulate
+// before the regression gate fails.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "src/cluster/kernel_runner.hpp"
+#include "src/common/json.hpp"
+
+namespace tcdm::metrics {
+
+inline constexpr const char* kSchemaName = "tcdm-metrics";
+inline constexpr int kSchemaVersion = 1;
+
+/// Default relative tolerances by metric provenance. Closed-form model
+/// values must reproduce exactly (modulo float noise); simulated values are
+/// deterministic too, but get headroom so benign scheduling refactors do not
+/// force a re-record; boolean/count metrics must match exactly.
+inline constexpr double kModelRelTol = 1e-9;
+inline constexpr double kSimRelTol = 0.02;
+inline constexpr double kExactTol = 0.0;
+
+class SchemaError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Metric {
+  double value = 0.0;
+  double rel_tol = kSimRelTol;
+};
+
+struct MetricsDoc {
+  std::string suite;
+  std::string description;
+  std::map<std::string, Metric> metrics;  // sorted: stable dumps, clean diffs
+
+  void add(const std::string& name, double value, double rel_tol);
+
+  /// Record the regression-relevant fields of one kernel run under
+  /// `prefix/`: cycles, bw_per_core, fpu_util, gflops_ss,
+  /// arithmetic_intensity (all at `sim_tol`) and verified (exact).
+  void add_kernel_metrics(const std::string& prefix, const KernelMetrics& m,
+                          double sim_tol = kSimRelTol);
+
+  [[nodiscard]] Json to_json() const;
+  /// Validates schema name/version; throws SchemaError on mismatch or
+  /// structurally invalid documents.
+  static MetricsDoc from_json(const Json& j);
+
+  void write_file(const std::string& path) const;
+  /// Throws std::runtime_error when unreadable, SchemaError/JsonError when
+  /// malformed.
+  static MetricsDoc read_file(const std::string& path);
+};
+
+}  // namespace tcdm::metrics

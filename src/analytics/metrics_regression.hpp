@@ -1,0 +1,72 @@
+// Regression gate over exported metrics documents: diff a freshly emitted
+// MetricsDoc against a recorded baseline, judge every metric against its
+// per-metric relative tolerance, and render a human-readable delta table.
+// tools/check_regression.cpp is a thin wrapper around run_check_cli so the
+// CLI's behaviour (argument parsing, exit codes) is unit-testable in-process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analytics/metrics_export.hpp"
+
+namespace tcdm::metrics {
+
+enum class DiffStatus {
+  kOk,              // within tolerance
+  kOutOfTolerance,  // |delta| exceeds the baseline's rel_tol
+  kNotFinite,       // current value is NaN/Inf — always a failure
+  kMissing,         // in the baseline but absent from the current export
+  kNew,             // emitted but not recorded — a warning unless fail_on_new
+};
+
+struct MetricDiff {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_delta = 0.0;  // (current - baseline) / |baseline|
+  double rel_tol = 0.0;
+  DiffStatus status = DiffStatus::kOk;
+};
+
+struct CompareOptions {
+  /// Scales every baseline tolerance (e.g. 2.0 doubles the allowed drift);
+  /// useful for platform-variance escape hatches without editing baselines.
+  double tol_scale = 1.0;
+  /// Treat metrics missing from the baseline as failures instead of
+  /// warnings (use when a baseline is meant to be exhaustive).
+  bool fail_on_new = false;
+};
+
+struct CompareResult {
+  std::vector<MetricDiff> diffs;  // baseline order, then new metrics
+  unsigned num_ok = 0;
+  unsigned num_out_of_tolerance = 0;
+  unsigned num_not_finite = 0;
+  unsigned num_missing = 0;
+  unsigned num_new = 0;
+  bool new_metrics_fail = false;
+
+  [[nodiscard]] bool passed() const {
+    return num_out_of_tolerance == 0 && num_not_finite == 0 && num_missing == 0 &&
+           (!new_metrics_fail || num_new == 0);
+  }
+};
+
+[[nodiscard]] CompareResult compare(const MetricsDoc& baseline, const MetricsDoc& current,
+                                    const CompareOptions& opts = {});
+
+/// Delta table (TableWriter format) of every non-OK metric plus summary
+/// counts; `verbose` includes in-tolerance rows too.
+[[nodiscard]] std::string render_delta_table(const CompareResult& result,
+                                             bool verbose = false);
+
+/// The check_regression command line:
+///   check_regression [options] <baseline.json> <current.json> [<b2> <c2> ...]
+///     --tol-scale <x>   scale all tolerances
+///     --fail-on-new     fail when the current export has unrecorded metrics
+///     --verbose         print in-tolerance rows too
+/// Returns 0 when every pair passes, 1 on regression, 2 on usage/IO errors.
+[[nodiscard]] int run_check_cli(int argc, const char* const* argv);
+
+}  // namespace tcdm::metrics

@@ -45,6 +45,24 @@ std::string burst_param_name(const ::testing::TestParamInfo<unsigned>& info) {
   return info.param == 0 ? "baseline" : "gf" + std::to_string(info.param);
 }
 
+// ------------------------------------------------ substrate fixtures -------
+
+Topology flat4_topology() { return Topology({1, 4}, {{1, 1}, {1, 1}}); }
+
+Topology two_pair_topology() { return Topology({2, 2}, {{1, 1}, {2, 2}}); }
+
+AddressMap small_address_map() { return AddressMap(16, 4, 64); }
+
+std::vector<SpmBank> patterned_banks(unsigned num_banks, unsigned rows) {
+  std::vector<SpmBank> banks;
+  banks.reserve(num_banks);
+  for (unsigned b = 0; b < num_banks; ++b) {
+    banks.emplace_back(rows);
+    for (unsigned r = 0; r < rows; ++r) banks[b].write_row(r, 100 * b + r);
+  }
+  return banks;
+}
+
 // ------------------------------------------------------ kernel run helpers --
 
 KernelMetrics run_capped(const ClusterConfig& cfg, Kernel& k, Cycle max_cycles) {

@@ -22,6 +22,9 @@
 #include "src/cluster/cluster_config.hpp"
 #include "src/cluster/kernel_runner.hpp"
 #include "src/common/rng.hpp"
+#include "src/interconnect/topology.hpp"
+#include "src/memory/address_map.hpp"
+#include "src/memory/spm_bank.hpp"
 
 namespace tcdm::test {
 
@@ -56,6 +59,27 @@ class BurstSweepTest : public ::testing::TestWithParam<unsigned> {
                            [](const ::testing::TestParamInfo<unsigned>& i) { \
                              return ::tcdm::test::burst_param_name(i);       \
                            })
+
+// ------------------------------------------------ substrate fixtures -------
+
+/// Flat 4-tile hierarchy ({1, 4}, unit latencies): the smallest topology on
+/// which every remote class exists, used by the interconnect/burst unit
+/// suites.
+[[nodiscard]] Topology flat4_topology();
+
+/// 4 tiles as 2 groups of 2 ({2, 2}, latencies {1,1}/{2,2}): pairs with
+/// round-trip 3 inside a group and 5 across, so latency-class behaviour is
+/// observable.
+[[nodiscard]] Topology two_pair_topology();
+
+/// 16 banks, 4 per tile (4 tiles), 64 rows — the standard map the memory
+/// and burst unit suites address against.
+[[nodiscard]] AddressMap small_address_map();
+
+/// Banks pre-filled with recognizable data: bank b, row r holds 100*b + r,
+/// so merged burst beats can be checked for word placement at a glance.
+[[nodiscard]] std::vector<SpmBank> patterned_banks(unsigned num_banks = 4,
+                                                   unsigned rows = 64);
 
 // ------------------------------------------------------ kernel run helpers --
 

@@ -7,7 +7,7 @@
 
 #include "src/burst/burst_manager.hpp"
 #include "src/burst/burst_sender.hpp"
-#include "src/memory/spm_bank.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -16,13 +16,10 @@ namespace {
 
 class BurstManagerTest : public ::testing::Test {
  protected:
-  BurstManagerTest() : map_(16, 4, 64), bm_(BurstManagerConfig{4, 4, 8}, map_, 1) {
-    for (unsigned b = 0; b < 4; ++b) banks_.emplace_back(64u);
-    // Fill tile 1's rows with recognizable data: bank b row r = 100*b + r.
-    for (unsigned b = 0; b < 4; ++b) {
-      for (unsigned r = 0; r < 64; ++r) banks_[b].write_row(r, 100 * b + r);
-    }
-  }
+  BurstManagerTest()
+      : map_(test::small_address_map()),
+        bm_(BurstManagerConfig{4, 4, 8}, map_, 1),
+        banks_(test::patterned_banks()) {}
 
   /// Byte address of (bank-in-tile, row) for tile 1.
   Addr addr_of(unsigned bank_in_tile, unsigned row) const {
@@ -158,8 +155,8 @@ TEST_F(BurstManagerTest, StalledBankRetriesNextCycle) {
 class FakeTile final : public TileServices {
  public:
   FakeTile(StatsRegistry& stats)
-      : map_(16, 4, 64),
-        topo_({1, 4}, {{1, 1}, {1, 1}}),
+      : map_(test::small_address_map()),
+        topo_(test::flat4_topology()),
         // Deep master FIFOs: these tests dispatch without running the
         // network cycle that would normally drain the ports.
         net_(topo_, NetworkConfig{.master_extra_slots = 8}, stats) {}

@@ -13,6 +13,7 @@
 #include "src/common/sim_time.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/timed_queue.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -116,13 +117,28 @@ TEST(Rng, DifferentSeedsDiffer) {
   EXPECT_LT(same, 4u);
 }
 
-TEST(Rng, BoundedValuesInRange) {
-  Xoshiro128 rng(7);
+class RngFixture : public test::SeededRngTest {};
+
+TEST_F(RngFixture, BoundedValuesInRange) {
+  reseed(7);
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_LT(rng.next_below(17), 17u);
-    const float f = rng.next_f32();
+    EXPECT_LT(rng_.next_below(17), 17u);
+    const float f = rng_.next_f32();
     EXPECT_GE(f, 0.0f);
     EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST_F(RngFixture, FixtureStreamsAreReproducible) {
+  // The shared seeded fixture hands out identical streams across fixtures
+  // and the free-function helper alike.
+  const std::vector<float> a = random_floats(32, -2.0f, 2.0f);
+  const std::vector<float> b = test::random_floats(kTestSeed, 32, -2.0f, 2.0f);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+  for (float f : a) {
+    EXPECT_GE(f, -2.0f);
+    EXPECT_LT(f, 2.0f);
   }
 }
 

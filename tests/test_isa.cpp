@@ -2,9 +2,11 @@
 // helpers, disassembler round-trips.
 #include <gtest/gtest.h>
 
+#include "src/cluster/cluster.hpp"
 #include "src/isa/disasm.hpp"
 #include "src/isa/instruction.hpp"
 #include "src/isa/program.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -55,6 +57,22 @@ TEST(ProgramBuilder, EmitsExpectedFields) {
   EXPECT_EQ(p.at(1).rs2, 12);
   EXPECT_EQ(p.at(2).lmul, Lmul::m8);
   EXPECT_EQ(p.at(3).rs2, a4.idx);
+}
+
+TEST(ProgramBuilder, BuiltProgramExecutesOnTheSupportCluster) {
+  // End-to-end sanity for the builder: labels, ALU ops and a store resolve
+  // into a program the deterministic one-tile fixture cluster can retire.
+  ProgramBuilder pb("e2e");
+  pb.li(t0, 11);
+  pb.li(t1, 31);
+  pb.add(t2, t0, t1);
+  pb.li(t3, 0x40);
+  pb.sw(t2, t3, 0);
+  pb.halt();
+  Cluster cluster(test::one_tile_config());
+  cluster.load_program(pb.build());
+  EXPECT_TRUE(cluster.run(10'000).all_halted);
+  EXPECT_EQ(cluster.read_word(0x40), 42u);
 }
 
 TEST(IsaClassification, VectorPredicates) {

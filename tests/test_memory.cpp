@@ -5,13 +5,14 @@
 #include "src/memory/address_map.hpp"
 #include "src/memory/rob.hpp"
 #include "src/memory/spm_bank.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
 TEST(AddressMap, WordInterleavingAcrossBanksAndTiles) {
-  // 16 banks, 4 per tile -> 4 tiles.
-  const AddressMap map(16, 4, 64);
+  // The shared fixture map: 16 banks, 4 per tile -> 4 tiles.
+  const AddressMap map = test::small_address_map();
   EXPECT_EQ(map.num_tiles(), 4u);
   for (unsigned w = 0; w < 64; ++w) {
     const Addr a = w * kWordBytes;
@@ -22,7 +23,7 @@ TEST(AddressMap, WordInterleavingAcrossBanksAndTiles) {
 }
 
 TEST(AddressMap, ConsecutiveWordsStayInTileForOneBeat) {
-  const AddressMap map(16, 4, 64);
+  const AddressMap map = test::small_address_map();
   // Aligned beat: 4 words starting at a tile boundary stay in one tile.
   EXPECT_EQ(map.words_left_in_tile(0), 4u);
   EXPECT_EQ(map.words_left_in_tile(4), 3u);   // word 1 -> 3 words left
@@ -35,6 +36,15 @@ TEST(AddressMap, CapacityAndValidity) {
   EXPECT_TRUE(map.valid(0));
   EXPECT_TRUE(map.valid(map.total_bytes() - 4));
   EXPECT_FALSE(map.valid(map.total_bytes()));
+}
+
+TEST(SpmBank, PatternedFixtureHoldsRecognizableData) {
+  // The shared pre-filled banks the burst suite merges from: row r of bank b
+  // reads back 100*b + r.
+  std::vector<SpmBank> banks = test::patterned_banks(2, 8);
+  ASSERT_EQ(banks.size(), 2u);
+  EXPECT_EQ(banks[0].read_row(0), 0u);
+  EXPECT_EQ(banks[1].read_row(5), 105u);
 }
 
 TEST(SpmBank, OneRequestPerCycleWithNextCycleData) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/interconnect/network.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
@@ -24,7 +25,7 @@ struct CollectSink : RspSink {
 class NetworkTest : public ::testing::Test {
  protected:
   NetworkTest()
-      : topo_({2, 2}, {{1, 1}, {2, 2}}),  // 4 tiles: pairs with RT3 / RT5
+      : topo_(test::two_pair_topology()),  // 4 tiles: pairs with RT3 / RT5
         net_(topo_, NetworkConfig{}, stats_) {}
 
   TcdmReq make_req(TileId src, Addr addr = 0, unsigned len = 1) {

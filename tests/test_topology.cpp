@@ -8,13 +8,14 @@
 
 #include "src/cluster/cluster_config.hpp"
 #include "src/interconnect/topology.hpp"
+#include "tests/support/test_support.hpp"
 
 namespace tcdm {
 namespace {
 
 TEST(Topology, FlatFourTiles) {
   // MP4-style: {1, 4} -> 3 sibling classes + (unused) intra class.
-  const Topology topo({1, 4}, {{1, 1}, {1, 1}});
+  const Topology topo = test::flat4_topology();
   EXPECT_EQ(topo.num_tiles(), 4u);
   EXPECT_EQ(topo.num_classes(), 4u);  // class 0 (intra, unused) + 3 siblings
   // Every distinct pair diverges at level 1.
@@ -29,6 +30,16 @@ TEST(Topology, FlatFourTiles) {
   // Distinct destinations get distinct sibling classes from one source.
   EXPECT_NE(topo.class_of(0, 1), topo.class_of(0, 2));
   EXPECT_NE(topo.class_of(0, 2), topo.class_of(0, 3));
+}
+
+TEST(Topology, TwoPairFixtureExposesBothLatencyClasses) {
+  // The shared two-group fixture the network suite runs on: RT 3 inside a
+  // pair, RT 5 across pairs.
+  const Topology topo = test::two_pair_topology();
+  EXPECT_EQ(topo.num_tiles(), 4u);
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 1)), 3u);
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 2)), 5u);
+  EXPECT_EQ(topo.round_trip(topo.class_of(0, 3)), 5u);
 }
 
 TEST(Topology, Mp64PortCountsAndLatencies) {
