@@ -1,87 +1,6 @@
-// Ablation: burst-length cap and access-pattern sensitivity.
-//  (a) max burst length 2 vs 4 on MP4Spatz4-GF4 (shorter bursts mean more
-//      request-channel transactions per vector);
-//  (b) unit-stride (burst-eligible) vs strided (never bursts) traffic: the
-//      memcpy kernel vs an equally-sized FFT tail-stage-like strided sweep,
-//      showing that the TCDM Burst extension only accelerates the access
-//      patterns the Burst Sender can coalesce.
-#include <cstdio>
-#include <iostream>
-
+// Ablation: burst-length cap and access-pattern sensitivity. Scenarios,
+// table printer and metrics emission live in the scenario registry
+// (src/scenario/builtin_ablations.cpp, suite "ablation_burst").
 #include "bench/bench_util.hpp"
-#include "src/kernels/probes.hpp"
 
-namespace tcdm {
-namespace {
-
-void BM_len(benchmark::State& state, unsigned cap) {
-  ClusterConfig cfg = ClusterConfig::mp4spatz4().with_burst(4);
-  cfg.max_burst_len = cap;
-  RandomProbeKernel k(256);
-  RunnerOptions opts;
-  opts.verify = false;
-  opts.max_cycles = 10'000'000;
-  (void)bench::run_and_record(state, "len" + std::to_string(cap), cfg, k, opts);
-}
-
-void BM_pattern(benchmark::State& state, bool burst) {
-  ClusterConfig cfg = ClusterConfig::mp4spatz4();
-  if (burst) cfg = cfg.with_burst(4);
-  MemcpyKernel k(4096);
-  RunnerOptions opts;
-  opts.max_cycles = 10'000'000;
-  (void)bench::run_and_record(state, std::string("memcpy/") + (burst ? "gf4" : "base"),
-                              cfg, k, opts);
-}
-
-void register_benchmarks() {
-  for (unsigned cap : {2u, 3u, 4u}) {
-    benchmark::RegisterBenchmark(("ablation_burst/maxlen" + std::to_string(cap)).c_str(),
-                                 [cap](benchmark::State& s) { BM_len(s, cap); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-  for (bool burst : {false, true}) {
-    benchmark::RegisterBenchmark(
-        (std::string("ablation_burst/memcpy/") + (burst ? "gf4" : "baseline")).c_str(),
-        [burst](benchmark::State& s) { BM_pattern(s, burst); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-}
-
-void print_table() {
-  std::printf("\n=== Ablation: burst length cap (MP4Spatz4-GF4 random probe) ===\n");
-  TableWriter tw({"max burst len", "BW [B/cyc/core]", "vs full-K bursts"});
-  const double full = bench::results()["len4"].bw_per_core;
-  for (unsigned cap : {2u, 3u, 4u}) {
-    const auto& r = bench::results()["len" + std::to_string(cap)];
-    tw.add_row({std::to_string(cap), fmt(r.bw_per_core), delta(r.bw_per_core / full - 1.0)});
-  }
-  tw.print(std::cout);
-
-  std::printf("\n=== Ablation: burst-eligible pattern (memcpy: unit loads, narrow stores) ===\n");
-  TableWriter tm({"config", "BW [B/cyc/core]", "cycles"});
-  const auto& mb = bench::results()["memcpy/base"];
-  const auto& mg = bench::results()["memcpy/gf4"];
-  tm.add_row({"baseline", fmt(mb.bw_per_core), std::to_string(mb.cycles)});
-  tm.add_row({"gf4", fmt(mg.bw_per_core), std::to_string(mg.cycles)});
-  tm.print(std::cout);
-  std::printf("memcpy gains come only from the load half: stores never burst\n"
-              "(paper bursts loads only), capping the end-to-end speedup at ~2x\n"
-              "even with GF4 (measured %s).\n",
-              delta(static_cast<double>(mb.cycles) / mg.cycles - 1.0).c_str());
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("ablation_burst")

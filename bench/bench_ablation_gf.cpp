@@ -1,77 +1,6 @@
-// Ablation: grouping-factor sweep beyond the paper's GF2/GF4. Shows the
-// analytical saturation at GF == K (eq. 3 caps the response width at the
-// VLSU port count) and how the simulated bandwidth tracks it.
-#include <cstdio>
-#include <iostream>
-
+// Ablation: grouping-factor sweep beyond the paper's GF2/GF4. Scenarios,
+// table printer and metrics emission live in the scenario registry
+// (src/scenario/builtin_ablations.cpp, suite "ablation_gf").
 #include "bench/bench_util.hpp"
-#include "src/analytics/bandwidth_model.hpp"
-#include "src/kernels/dotp.hpp"
-#include "src/kernels/probes.hpp"
 
-namespace tcdm {
-namespace {
-
-void BM_gf(benchmark::State& state, unsigned gf, bool dotp) {
-  ClusterConfig cfg = ClusterConfig::mp64spatz4();
-  if (gf > 0) cfg = cfg.with_burst(gf);
-  RunnerOptions opts;
-  opts.max_cycles = 10'000'000;
-  const std::string key = (dotp ? "dotp/gf" : "probe/gf") + std::to_string(gf);
-  if (dotp) {
-    DotpKernel k(65536);
-    (void)bench::run_and_record(state, key, cfg, k, opts);
-  } else {
-    RandomProbeKernel k(128);
-    opts.verify = false;
-    (void)bench::run_and_record(state, key, cfg, k, opts);
-  }
-}
-
-void register_benchmarks() {
-  for (unsigned gf : {0u, 2u, 4u, 8u}) {
-    benchmark::RegisterBenchmark(
-        ("ablation_gf/probe/gf" + std::to_string(gf)).c_str(),
-        [gf](benchmark::State& s) { BM_gf(s, gf, false); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
-        ("ablation_gf/dotp/gf" + std::to_string(gf)).c_str(),
-        [gf](benchmark::State& s) { BM_gf(s, gf, true); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-}
-
-void print_table() {
-  std::printf("\n=== Ablation: grouping factor sweep on MP64Spatz4 (K = 4) ===\n");
-  TableWriter tw({"GF", "model BW [B/cyc]", "probe BW [B/cyc]", "probe util",
-                  "dotp GFLOPS@ss", "dotp speedup"});
-  const ClusterConfig cfg = ClusterConfig::mp64spatz4();
-  const double dotp0 = bench::results()["dotp/gf0"].gflops_ss;
-  for (unsigned gf : {0u, 2u, 4u, 8u}) {
-    const unsigned eff = gf == 0 ? 1 : gf;
-    const auto& p = bench::results()["probe/gf" + std::to_string(gf)];
-    const auto& d = bench::results()["dotp/gf" + std::to_string(gf)];
-    tw.add_row({gf == 0 ? "base" : std::to_string(gf),
-                fmt(model::hier_avg_bw(cfg.num_cores(), cfg.vlsu_ports, eff)),
-                fmt(p.bw_per_core), pct(p.bw_per_core / cfg.vlsu_peak_bw()),
-                fmt(d.gflops_ss), delta(d.gflops_ss / dotp0 - 1.0)});
-  }
-  tw.print(std::cout);
-  std::printf("GF8 == GF4 by eq. (3): a burst never exceeds K = 4 words, so wider\n"
-              "response channels cannot carry more than one burst's words per beat.\n");
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("ablation_gf")

@@ -1,60 +1,7 @@
 // Ablation: per-port ROB depth (the paper doubles it for burst configs,
-// §III-A). Sweeps latency tolerance for baseline and GF4 on MP64Spatz4.
-#include <cstdio>
-#include <iostream>
-
+// §III-A). Scenarios, table printer and metrics emission live in the
+// scenario registry (src/scenario/builtin_ablations.cpp, suite
+// "ablation_rob").
 #include "bench/bench_util.hpp"
-#include "src/kernels/probes.hpp"
 
-namespace tcdm {
-namespace {
-
-void BM_rob(benchmark::State& state, unsigned rob, unsigned gf) {
-  ClusterConfig cfg = ClusterConfig::mp64spatz4();
-  if (gf > 0) cfg = cfg.with_burst(gf);
-  cfg.rob_depth = rob;  // override (with_burst already doubled the default)
-  RandomProbeKernel k(128);
-  RunnerOptions opts;
-  opts.verify = false;
-  opts.max_cycles = 10'000'000;
-  (void)bench::run_and_record(
-      state, "rob" + std::to_string(rob) + "/gf" + std::to_string(gf), cfg, k, opts);
-}
-
-void register_benchmarks() {
-  for (unsigned rob : {4u, 8u, 16u, 32u}) {
-    for (unsigned gf : {0u, 4u}) {
-      benchmark::RegisterBenchmark(
-          ("ablation_rob/rob" + std::to_string(rob) + "/gf" + std::to_string(gf)).c_str(),
-          [rob, gf](benchmark::State& s) { BM_rob(s, rob, gf); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void print_table() {
-  std::printf("\n=== Ablation: ROB depth per VLSU port (MP64Spatz4 random probe) ===\n");
-  TableWriter tw({"ROB depth/port", "baseline BW [B/cyc]", "GF4 BW [B/cyc]"});
-  for (unsigned rob : {4u, 8u, 16u, 32u}) {
-    tw.add_row({std::to_string(rob),
-                fmt(bench::results()["rob" + std::to_string(rob) + "/gf0"].bw_per_core),
-                fmt(bench::results()["rob" + std::to_string(rob) + "/gf4"].bw_per_core)});
-  }
-  tw.print(std::cout);
-  std::printf("The GF4 configuration needs more outstanding words to keep its 4x\n"
-              "response bandwidth busy — the reason the paper doubles the ROB.\n");
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("ablation_rob")

@@ -1,103 +1,6 @@
-// Ablation: store-burst extension. The paper bursts only loads (§II-C):
-// store latency hides behind synchronization, and a store burst's payload
-// still crosses the narrow request channel word by word. This bench
-// quantifies that reasoning on MP64Spatz4 with two store-heavy workloads:
-//
-//  * memcpy    — unit-stride loads + unit-stride stores (stores CAN burst);
-//  * transpose — unit-stride loads + strided stores (stores can NEVER
-//                burst, bounding what any store optimization can achieve).
-//
-// Configurations: GF4 (paper design), GF4+store-bursts over the unmodified
-// 1-word request channel (expected ~no gain — validating the paper), and
-// GF4+store-bursts with the request data field widened to 2/4 words
-// (the symmetric counterpart of the paper's response-side widening).
-#include <cstdio>
-#include <iostream>
-
+// Ablation: store-burst extension (the paper bursts only loads, §II-C).
+// Scenarios, table printer and metrics emission live in the scenario
+// registry (src/scenario/builtin_ablations.cpp, suite "ablation_store").
 #include "bench/bench_util.hpp"
-#include "src/kernels/probes.hpp"
-#include "src/kernels/transpose.hpp"
 
-namespace tcdm {
-namespace {
-
-constexpr unsigned kCopyElems = 16384;
-constexpr unsigned kTransposeN = 128;
-
-ClusterConfig config_for(unsigned req_gf) {
-  ClusterConfig cfg = ClusterConfig::mp64spatz4().with_burst(4);
-  if (req_gf > 0) cfg = cfg.with_store_bursts(req_gf);
-  return cfg;
-}
-
-void BM_store(benchmark::State& state, unsigned req_gf, bool transpose) {
-  RunnerOptions opts;
-  opts.max_cycles = 20'000'000;
-  const std::string key =
-      (transpose ? "transpose/st" : "memcpy/st") + std::to_string(req_gf);
-  if (transpose) {
-    TransposeKernel k(kTransposeN);
-    (void)bench::run_and_record(state, key, config_for(req_gf), k, opts);
-  } else {
-    MemcpyKernel k(kCopyElems);
-    (void)bench::run_and_record(state, key, config_for(req_gf), k, opts);
-  }
-}
-
-void register_benchmarks() {
-  for (unsigned req_gf : {0u, 1u, 2u, 4u}) {
-    for (bool transpose : {false, true}) {
-      const std::string name = std::string("ablation_store/") +
-                               (transpose ? "transpose" : "memcpy") + "/st" +
-                               std::to_string(req_gf);
-      benchmark::RegisterBenchmark(name.c_str(),
-                                   [req_gf, transpose](benchmark::State& s) {
-                                     BM_store(s, req_gf, transpose);
-                                   })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void print_table() {
-  std::printf(
-      "\n=== Ablation: store bursts on MP64Spatz4 (memcpy n=%u, transpose %ux%u) ===\n",
-      kCopyElems, kTransposeN, kTransposeN);
-  TableWriter tw({"config", "memcpy [cyc]", "vs GF4", "transpose [cyc]", "vs GF4"});
-  const double m0 = static_cast<double>(bench::results()["memcpy/st0"].cycles);
-  const double t0 = static_cast<double>(bench::results()["transpose/st0"].cycles);
-  const char* label[] = {"GF4 (paper, loads only)", "GF4 + store bursts, 1-word req ch.",
-                         "GF4 + store bursts, 2-word req ch.",
-                         "GF4 + store bursts, 4-word req ch."};
-  const unsigned cfgs[] = {0u, 1u, 2u, 4u};
-  for (unsigned i = 0; i < 4; ++i) {
-    const auto& m = bench::results()["memcpy/st" + std::to_string(cfgs[i])];
-    const auto& t = bench::results()["transpose/st" + std::to_string(cfgs[i])];
-    tw.add_row({label[i], std::to_string(m.cycles), delta(m0 / m.cycles - 1.0),
-                std::to_string(t.cycles), delta(t0 / t.cycles - 1.0)});
-  }
-  tw.print(std::cout);
-  std::printf(
-      "Over the unmodified request channel a store burst's payload still\n"
-      "streams word by word; the residual gain comes from occupying one\n"
-      "request-FIFO entry per burst instead of per word (RTL with per-word\n"
-      "buffering would see close to 0%%). The full win requires widening\n"
-      "the request data field — the same routing cost the paper spent on\n"
-      "the response side instead, where loads benefit every kernel and no\n"
-      "extra payload buffering is needed.\n"
-      "Transpose's strided stores never coalesce in any configuration.\n");
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("ablation_store")

@@ -1,82 +1,7 @@
 // Ablation: strided-burst extension (paper §II-C limits bursts to unit
-// stride; this bench quantifies the future-work extension that coalesces
-// constant-stride loads). Sweep the word stride of a strided-copy workload
-// on MP64Spatz4 across baseline / GF4 / GF4+strided-burst configurations.
-//
-// Expected shape: the extension recovers most of the unit-stride burst win
-// while stride < banks_per_tile (runs of banks_per_tile/stride elements
-// still coalesce), and degrades to exactly the plain-GF4 behaviour once
-// every element lands in a different tile (stride >= banks_per_tile = 4).
-#include <cstdio>
-#include <iostream>
-
+// stride). Scenarios, table printer and metrics emission live in the
+// scenario registry (src/scenario/builtin_ablations.cpp, suite
+// "ablation_stride").
 #include "bench/bench_util.hpp"
-#include "src/kernels/probes.hpp"
 
-namespace tcdm {
-namespace {
-
-constexpr unsigned kElems = 8192;
-
-void BM_stride(benchmark::State& state, unsigned stride, int mode) {
-  ClusterConfig cfg = ClusterConfig::mp64spatz4();
-  if (mode >= 1) cfg = cfg.with_burst(4);
-  if (mode == 2) cfg = cfg.with_strided_bursts();
-  RunnerOptions opts;
-  opts.max_cycles = 20'000'000;
-  const char* tag = mode == 0 ? "base" : (mode == 1 ? "gf4" : "gf4sb");
-  StridedCopyKernel k(kElems, stride);
-  (void)bench::run_and_record(state, "s" + std::to_string(stride) + "/" + tag, cfg, k,
-                              opts);
-}
-
-void register_benchmarks() {
-  for (unsigned stride : {1u, 2u, 3u, 4u, 8u}) {
-    for (int mode : {0, 1, 2}) {
-      const char* tag = mode == 0 ? "base" : (mode == 1 ? "gf4" : "gf4sb");
-      benchmark::RegisterBenchmark(
-          ("ablation_stride/s" + std::to_string(stride) + "/" + tag).c_str(),
-          [stride, mode](benchmark::State& s) { BM_stride(s, stride, mode); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void print_table() {
-  std::printf(
-      "\n=== Ablation: strided-burst extension on MP64Spatz4 "
-      "(strided copy, %u elements, banks/tile = 4) ===\n",
-      kElems);
-  TableWriter tw({"stride [words]", "baseline [cyc]", "GF4 [cyc]", "GF4+strided [cyc]",
-                  "ext vs GF4", "ext vs baseline"});
-  for (unsigned stride : {1u, 2u, 3u, 4u, 8u}) {
-    const auto& b = bench::results()["s" + std::to_string(stride) + "/base"];
-    const auto& g = bench::results()["s" + std::to_string(stride) + "/gf4"];
-    const auto& e = bench::results()["s" + std::to_string(stride) + "/gf4sb"];
-    tw.add_row({std::to_string(stride), std::to_string(b.cycles),
-                std::to_string(g.cycles), std::to_string(e.cycles),
-                delta(static_cast<double>(g.cycles) / e.cycles - 1.0),
-                delta(static_cast<double>(b.cycles) / e.cycles - 1.0)});
-  }
-  tw.print(std::cout);
-  std::printf(
-      "The paper's design keys on the VLE opcode, so vlse32 traffic never\n"
-      "bursts in plain GF4 (baseline == GF4 here). The extension coalesces\n"
-      "stride 1 (a vle32 in disguise) fully and strides 2..3 into shorter\n"
-      "runs; at stride >= banks/tile = 4 every element maps to a different\n"
-      "tile and the extension correctly degrades to narrow behaviour.\n");
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("ablation_stride")

@@ -1,116 +1,7 @@
-// Extension-kernel suite: GEMV, Conv2D 3x3, Jacobi2D and Transpose on
-// MP4Spatz4 and MP64Spatz4, baseline vs the paper's GF4 design. These
-// workloads fill the roofline's memory-bound region between the paper's
-// DotP (AI 0.25) and small MatMul (~1.5) points and probe access patterns
-// the paper does not evaluate (2D row streams with unaligned bases,
-// strided stores).
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
+// Extension-kernel suite: GEMV, Conv2D, Jacobi2D, ReLU, MaxPool and
+// Transpose on MP4Spatz4/MP64Spatz4, baseline vs GF4. Scenarios, table
+// printer and metrics emission live in the scenario registry
+// (src/scenario/builtin_extensions.cpp, suite "ext_kernels").
 #include "bench/bench_util.hpp"
-#include "src/kernels/conv2d.hpp"
-#include "src/kernels/gemv.hpp"
-#include "src/kernels/maxpool.hpp"
-#include "src/kernels/relu.hpp"
-#include "src/kernels/stencil.hpp"
-#include "src/kernels/transpose.hpp"
 
-namespace tcdm {
-namespace {
-
-std::unique_ptr<Kernel> make_kernel(const std::string& name, bool big) {
-  if (name == "gemv") {
-    // A must fit TCDM: 256x512 fp32 = 512 KiB of MP64's 1 MiB; 32x128 =
-    // 16 KiB of MP4's 64 KiB.
-    return big ? std::make_unique<GemvKernel>(256, 512)
-               : std::make_unique<GemvKernel>(32, 128);
-  }
-  if (name == "conv2d") {
-    return big ? std::make_unique<Conv2dKernel>(130, 130)
-               : std::make_unique<Conv2dKernel>(34, 66);
-  }
-  if (name == "jacobi2d") {
-    return big ? std::make_unique<Jacobi2dKernel>(130, 130)
-               : std::make_unique<Jacobi2dKernel>(34, 66);
-  }
-  if (name == "relu") {
-    return big ? std::make_unique<ReluKernel>(65536) : std::make_unique<ReluKernel>(4096);
-  }
-  if (name == "maxpool2x2") {
-    return big ? std::make_unique<MaxPoolKernel>(64, 128)
-               : std::make_unique<MaxPoolKernel>(16, 48);
-  }
-  return big ? std::make_unique<TransposeKernel>(128)
-             : std::make_unique<TransposeKernel>(48);
-}
-
-const char* const kKernels[] = {"gemv",     "conv2d",     "jacobi2d",
-                                "relu",     "maxpool2x2", "transpose"};
-
-void BM_ext(benchmark::State& state, const std::string& kernel, bool big, bool burst) {
-  ClusterConfig cfg = big ? ClusterConfig::mp64spatz4() : ClusterConfig::mp4spatz4();
-  if (burst) cfg = cfg.with_burst(4);
-  RunnerOptions opts;
-  opts.max_cycles = 20'000'000;
-  const std::string key =
-      kernel + (big ? "/mp64" : "/mp4") + (burst ? "/gf4" : "/base");
-  auto k = make_kernel(kernel, big);
-  (void)bench::run_and_record(state, key, cfg, *k, opts);
-}
-
-void register_benchmarks() {
-  for (const char* kernel : kKernels) {
-    for (bool big : {false, true}) {
-      for (bool burst : {false, true}) {
-        const std::string name = std::string("ext_kernels/") + kernel +
-                                 (big ? "/mp64" : "/mp4") + (burst ? "/gf4" : "/base");
-        benchmark::RegisterBenchmark(
-            name.c_str(), [kernel = std::string(kernel), big, burst](
-                              benchmark::State& s) { BM_ext(s, kernel, big, burst); })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
-}
-
-void print_table() {
-  for (bool big : {false, true}) {
-    std::printf("\n=== Extension kernels on %s: baseline vs GF4 ===\n",
-                big ? "MP64Spatz4" : "MP4Spatz4");
-    TableWriter tw({"kernel", "size", "AI [FLOP/B]", "base [cyc]", "GF4 [cyc]",
-                    "speedup", "base BW [B/cyc/core]", "GF4 BW [B/cyc/core]",
-                    "GF4 FPU util"});
-    for (const char* kernel : kKernels) {
-      const std::string tag = std::string(kernel) + (big ? "/mp64" : "/mp4");
-      const auto& b = bench::results()[tag + "/base"];
-      const auto& g = bench::results()[tag + "/gf4"];
-      tw.add_row({kernel, g.size, fmt(g.arithmetic_intensity), std::to_string(b.cycles),
-                  std::to_string(g.cycles),
-                  fmt(static_cast<double>(b.cycles) / g.cycles, 2) + "x",
-                  fmt(b.bw_per_core), fmt(g.bw_per_core), pct(g.fpu_util)});
-    }
-    tw.print(std::cout);
-  }
-  std::printf(
-      "All kernels verify against host golden models in every configuration.\n"
-      "MaxPool2x2 barely moves: all its loads are stride-2 vlse32, which the\n"
-      "paper's VLE-keyed design never bursts (see bench_ablation_stride for\n"
-      "the strided-burst extension that recovers it). Transpose moves no\n"
-      "FLOPs; its speedup bounds store-dominated traffic (loads burst,\n"
-      "strided stores serialize unchanged).\n");
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("ext_kernels")

@@ -1,186 +1,7 @@
-// Fig. 3 reproduction: roofline plots for the three testbed clusters. For
-// each configuration this bench produces the roofline rooflines (ideal
-// no-contention bandwidth, FPU peak), the measured hierarchical-average
-// bandwidth (random-access probe — the paper's dashed line) and the kernel
-// sample points (DotP / FFT / two MatMul sizes), baseline vs burst, as a
-// table plus machine-readable CSV.
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
+// Fig. 3 reproduction: roofline plots (roofs, measured hierarchical-average
+// bandwidth, kernel sample points) for the three testbed clusters.
+// Scenarios, table printer and metrics emission live in the scenario
+// registry (src/scenario/builtin_tables.cpp, suite "fig3_roofline").
 #include "bench/bench_util.hpp"
-#include "src/analytics/roofline.hpp"
-#include "src/kernels/dotp.hpp"
-#include "src/kernels/fft.hpp"
-#include "src/kernels/matmul.hpp"
-#include "src/kernels/probes.hpp"
 
-namespace tcdm {
-namespace {
-
-struct Point {
-  std::string label;
-  unsigned gf;  // 0 = baseline
-};
-
-std::unique_ptr<Kernel> make_kernel(const std::string& preset, const std::string& which) {
-  if (preset == "mp4spatz4") {
-    if (which == "dotp") return std::make_unique<DotpKernel>(4096);
-    if (which == "fft") return std::make_unique<FftKernel>(1, 512);
-    if (which == "matmul-s") return std::make_unique<MatmulKernel>(16, 4);
-    if (which == "matmul-l") return std::make_unique<MatmulKernel>(64, 8);
-  } else if (preset == "mp64spatz4") {
-    if (which == "dotp") return std::make_unique<DotpKernel>(65536);
-    if (which == "fft") return std::make_unique<FftKernel>(4, 2048);
-    if (which == "matmul-s") return std::make_unique<MatmulKernel>(64, 4);
-    if (which == "matmul-l") return std::make_unique<MatmulKernel>(256, 8);
-  } else {
-    if (which == "dotp") return std::make_unique<DotpKernel>(131072);
-    if (which == "fft") return std::make_unique<FftKernel>(8, 4096);
-    if (which == "matmul-s") return std::make_unique<MatmulKernel>(128, 4);
-    if (which == "matmul-l") return std::make_unique<MatmulKernel>(256, 8);
-  }
-  throw std::invalid_argument("unknown kernel");
-}
-
-unsigned burst_gf(const std::string& preset) { return preset == "mp128spatz8" ? 2 : 4; }
-
-struct PointSetup {
-  std::string key;
-  ClusterConfig cfg;
-  std::unique_ptr<Kernel> kernel;
-  RunnerOptions opts;
-};
-
-PointSetup make_point(const std::string& preset, const std::string& which, unsigned gf) {
-  PointSetup s;
-  s.key = preset + "/" + which + "/" + std::to_string(gf);
-  s.cfg = ClusterConfig::by_name(preset);
-  if (gf) s.cfg = s.cfg.with_burst(gf);
-  s.opts.max_cycles = 50'000'000;
-  if (which == "probe") {
-    s.kernel = std::make_unique<RandomProbeKernel>(bench::probe_iters(s.cfg));
-    s.opts.verify = false;
-  } else {
-    s.kernel = make_kernel(preset, which);
-  }
-  return s;
-}
-
-/// Sim-metrics path: one run, recorded in the collector.
-KernelMetrics run_point(const std::string& preset, const std::string& which, unsigned gf) {
-  PointSetup s = make_point(preset, which, gf);
-  return bench::run_experiment(s.key, s.cfg, *s.kernel, s.opts);
-}
-
-void BM_point(benchmark::State& state, const std::string& preset, const std::string& which,
-              unsigned gf) {
-  // Setup stays outside the timed loop so reported times are simulator-only.
-  PointSetup s = make_point(preset, which, gf);
-  (void)bench::run_and_record(state, s.key, s.cfg, *s.kernel, s.opts);
-}
-
-void register_benchmarks() {
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    for (const char* which : {"probe", "dotp", "fft", "matmul-s", "matmul-l"}) {
-      for (unsigned gf : {0u, burst_gf(preset)}) {
-        benchmark::RegisterBenchmark(
-            (std::string("fig3/") + preset + "/" + which + "/" +
-             (gf == 0 ? "baseline" : "gf" + std::to_string(gf)))
-                .c_str(),
-            [p = std::string(preset), w = std::string(which), gf](benchmark::State& s) {
-              BM_point(s, p, w, gf);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
-}
-
-void print_fig3() {
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    const ClusterConfig cfg = ClusterConfig::by_name(preset);
-    const unsigned gf = burst_gf(preset);
-    const auto& probe_base = bench::results()[std::string(preset) + "/probe/0"];
-    const auto& probe_gf =
-        bench::results()[std::string(preset) + "/probe/" + std::to_string(gf)];
-
-    std::printf("\n=== Fig. 3 roofline: %s (ss corner %.0f MHz) ===\n", preset,
-                cfg.freq_ss_mhz);
-    const Roofline rl_base = make_roofline(cfg, probe_base.bw_bytes_per_cycle);
-    const Roofline rl_gf = make_roofline(cfg, probe_gf.bw_bytes_per_cycle);
-    std::printf("peak %.1f GFLOPS | ideal BW %.1f GB/s | hier-avg BW: baseline %.1f GB/s "
-                "(dashed), GF%u %.1f GB/s (dashed)\n",
-                rl_base.peak_gflops, rl_base.ideal_bw_gbps, rl_base.measured_bw_gbps, gf,
-                rl_gf.measured_bw_gbps);
-
-    TableWriter tw({"kernel", "AI [F/B]", "GFLOPS base", "GFLOPS GF", "speedup",
-                    "roofline bound (meas. BW)"});
-    std::vector<RooflineSample> samples;
-    for (const char* which : {"dotp", "fft", "matmul-s", "matmul-l"}) {
-      const auto& mb = bench::results()[std::string(preset) + "/" + which + "/0"];
-      const auto& mg =
-          bench::results()[std::string(preset) + "/" + which + "/" + std::to_string(gf)];
-      tw.add_row({which, fmt(mb.arithmetic_intensity), fmt(mb.gflops_ss), fmt(mg.gflops_ss),
-                  delta(mg.gflops_ss / mb.gflops_ss - 1.0),
-                  fmt(rl_gf.attainable_measured(mg.arithmetic_intensity))});
-      samples.push_back({std::string(which) + "-base", mb.arithmetic_intensity,
-                         mb.gflops_ss});
-      samples.push_back({std::string(which) + "-gf" + std::to_string(gf),
-                         mg.arithmetic_intensity, mg.gflops_ss});
-    }
-    tw.print(std::cout);
-    std::printf("--- CSV (plot with tools/plot_roofline.py or any CSV grapher) ---\n%s",
-                roofline_csv(rl_gf, samples).c_str());
-  }
-}
-
-void run_sweep() {
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    for (const char* which : {"probe", "dotp", "fft", "matmul-s", "matmul-l"}) {
-      for (unsigned gf : {0u, burst_gf(preset)}) (void)run_point(preset, which, gf);
-    }
-  }
-}
-
-metrics::MetricsDoc sim_metrics_doc() {
-  metrics::MetricsDoc doc;
-  doc.suite = "fig3_roofline";
-  doc.description =
-      "Fig. 3: roofline roofs (FPU peak, ideal and measured hierarchical-"
-      "average bandwidth) and kernel sample points, baseline vs burst";
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    const std::string p(preset);
-    const ClusterConfig cfg = ClusterConfig::by_name(preset);
-    const unsigned gf = burst_gf(preset);
-    // The compute and ideal-bandwidth roofs depend only on the preset; only
-    // the measured (dashed) roof differs between baseline and burst.
-    const Roofline roofs = make_roofline(cfg);
-    doc.add(p + "/roofline/peak_gflops", roofs.peak_gflops, metrics::kModelRelTol);
-    doc.add(p + "/roofline/ideal_bw_gbps", roofs.ideal_bw_gbps, metrics::kModelRelTol);
-    for (unsigned g : {0u, gf}) {
-      const std::string variant = g == 0 ? "baseline" : "gf" + std::to_string(g);
-      const KernelMetrics& probe = bench::results().at(p + "/probe/" + std::to_string(g));
-      const Roofline rl = make_roofline(cfg, probe.bw_bytes_per_cycle);
-      doc.add(p + "/roofline/" + variant + "/measured_bw_gbps", rl.measured_bw_gbps,
-              metrics::kSimRelTol);
-      for (const char* which : {"dotp", "fft", "matmul-s", "matmul-l"}) {
-        const KernelMetrics& m =
-            bench::results().at(p + "/" + which + "/" + std::to_string(g));
-        const std::string prefix = p + "/" + which + "/" + variant;
-        doc.add(prefix + "/gflops_ss", m.gflops_ss, metrics::kSimRelTol);
-        doc.add(prefix + "/arithmetic_intensity", m.arithmetic_intensity,
-                metrics::kSimRelTol);
-        doc.add(prefix + "/verified", m.verified ? 1.0 : 0.0, metrics::kExactTol);
-      }
-    }
-  }
-  return doc;
-}
-
-}  // namespace
-}  // namespace tcdm
-
-TCDM_BENCH_MAIN_WITH_METRICS(tcdm::register_benchmarks, tcdm::print_fig3,
-                             tcdm::run_sweep, tcdm::sim_metrics_doc)
+TCDM_SCENARIO_BENCH_MAIN("fig3_roofline")

@@ -1,112 +1,7 @@
-// Fig. 5 reproduction: area (left) and power (right) breakdowns for the
-// MP64Spatz4 cluster with the GF4 TCDM Burst extension. Area comes from the
-// calibrated analytical gate-count model; power from the activity-based
-// energy model applied to a simulated 256x256x256 MatMul run, as in the
-// paper (TT corner, 910 MHz).
-#include <cstdio>
-#include <iostream>
-
+// Fig. 5 reproduction: area and power breakdowns for MP64Spatz4 with the
+// GF4 TCDM Burst extension. Scenarios, table printer and metrics emission
+// live in the scenario registry (src/scenario/builtin_tables.cpp, suite
+// "fig5_breakdown").
 #include "bench/bench_util.hpp"
-#include "src/analytics/area_model.hpp"
-#include "src/analytics/power_model.hpp"
-#include "src/kernels/matmul.hpp"
 
-namespace tcdm {
-namespace {
-
-PowerBreakdown g_power_base, g_power_gf4;
-KernelMetrics g_metrics_base, g_metrics_gf4;
-
-void BM_power(benchmark::State& state, bool burst) {
-  ClusterConfig cfg = ClusterConfig::mp64spatz4();
-  if (burst) cfg = cfg.with_burst(4);
-  MatmulKernel kernel(256, 8);
-  RunnerOptions opts;
-  opts.max_cycles = 50'000'000;
-  for (auto _ : state) {
-    Cluster cluster(cfg);
-    const KernelMetrics m = run_kernel_on(cluster, kernel, opts);
-    const PowerBreakdown p = estimate_power(cluster, m.cycles, cfg.freq_tt_mhz);
-    (burst ? g_power_gf4 : g_power_base) = p;
-    (burst ? g_metrics_gf4 : g_metrics_base) = m;
-    state.counters["power_w"] = p.total();
-    state.counters["gflops_tt"] = m.gflops_tt;
-    state.counters["verified"] = m.verified ? 1.0 : 0.0;
-  }
-}
-
-void register_benchmarks() {
-  benchmark::RegisterBenchmark("fig5/power/matmul256/baseline",
-                               [](benchmark::State& s) { BM_power(s, false); })
-      ->Iterations(1)
-      ->Unit(benchmark::kMillisecond);
-  benchmark::RegisterBenchmark("fig5/power/matmul256/gf4",
-                               [](benchmark::State& s) { BM_power(s, true); })
-      ->Iterations(1)
-      ->Unit(benchmark::kMillisecond);
-}
-
-void print_fig5() {
-  const ClusterConfig base_cfg = ClusterConfig::mp64spatz4();
-  const ClusterConfig gf4_cfg = base_cfg.with_burst(4);
-  const AreaBreakdown ab = estimate_area(base_cfg);
-  const AreaBreakdown ag = estimate_area(gf4_cfg);
-
-  std::printf("\n=== Fig. 5 (left): logic area breakdown, MP64Spatz4 [MGE] ===\n");
-  TableWriter ta({"component", "baseline", "GF4", "delta"});
-  const auto row = [&](const char* name, double b, double g) {
-    ta.add_row({name, fmt(b / 1e6, 3), fmt(g / 1e6, 3), delta(b > 0 ? g / b - 1.0 : 0.0)});
-  };
-  row("Snitch cores", ab.snitch, ag.snitch);
-  row("Spatz FPUs", ab.spatz_fpu, ag.spatz_fpu);
-  row("Spatz VRF", ab.spatz_vrf, ag.spatz_vrf);
-  row("Spatz control", ab.spatz_misc, ag.spatz_misc);
-  row("VLSU (+ROB)", ab.vlsu, ag.vlsu);
-  row("Interconnect", ab.interconnect, ag.interconnect);
-  ta.add_row({"Burst Mgr+Snd", fmt(ab.burst / 1e6, 3), fmt(ag.burst / 1e6, 3), "new"});
-  row("Bank control", ab.banks_logic, ag.banks_logic);
-  ta.add_separator();
-  row("TOTAL", ab.total(), ag.total());
-  ta.print(std::cout);
-  std::printf("Paper: +35%% VLSU, +51%% interconnect, +1.5 MGE BM+BS, +4.5 MGE total, <8%%.\n");
-  std::printf("Model: +%.0f%% VLSU, +%.0f%% interconnect, +%.2f MGE BM+BS, +%.2f MGE total, "
-              "%.1f%% overall.\n",
-              100.0 * (ag.vlsu / ab.vlsu - 1.0),
-              100.0 * (ag.interconnect / ab.interconnect - 1.0),
-              (ag.burst - ab.burst) / 1e6, (ag.total() - ab.total()) / 1e6,
-              100.0 * area_overhead(ab, ag));
-
-  std::printf("\n=== Fig. 5 (right): power breakdown, MatMul 256^3 @tt [W] ===\n");
-  TableWriter tp({"component", "baseline", "GF4"});
-  const auto prow = [&](const char* name, double b, double g) {
-    tp.add_row({name, fmt(b, 3), fmt(g, 3)});
-  };
-  prow("FPUs", g_power_base.fpu_w, g_power_gf4.fpu_w);
-  prow("VRF", g_power_base.vrf_w, g_power_gf4.vrf_w);
-  prow("VLSU", g_power_base.vlsu_w, g_power_gf4.vlsu_w);
-  prow("Snitch", g_power_base.snitch_w, g_power_gf4.snitch_w);
-  prow("Interconnect", g_power_base.icn_w, g_power_gf4.icn_w);
-  prow("SPM banks", g_power_base.banks_w, g_power_gf4.banks_w);
-  prow("Burst Mgr+Snd", g_power_base.burst_w, g_power_gf4.burst_w);
-  prow("Static+clock", g_power_base.static_w, g_power_gf4.static_w);
-  tp.add_separator();
-  prow("TOTAL", g_power_base.total(), g_power_gf4.total());
-  tp.print(std::cout);
-  std::printf("MatMul 256^3 @tt: baseline %.1f GFLOPS / %.2f W; GF4 %.1f GFLOPS / %.2f W\n"
-              "(paper: 440.67 GFLOPS / 1.77 W -> 451.62 GFLOPS / 1.97 W).\n",
-              g_metrics_base.gflops_tt, g_power_base.total(), g_metrics_gf4.gflops_tt,
-              g_power_gf4.total());
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_fig5();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("fig5_breakdown")

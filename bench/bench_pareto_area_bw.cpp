@@ -1,92 +1,7 @@
-// Ablation: area-bandwidth Pareto front across grouping factors — the
-// quantitative version of the paper's implicit design choice (§III-B: GF4
-// on the small/medium clusters "for maximizing the bandwidth", GF2 on the
-// 1024-FPU cluster "considering the increased routing congestion").
-//
-// For each cluster scale, sweep GF and report random-probe bandwidth
-// against modeled logic area: bandwidth saturates at GF == K while area
-// keeps growing linearly with the response width, so marginal utility per
-// MGE collapses beyond the paper's chosen points.
-#include <cstdio>
-#include <iostream>
-
+// Ablation: area-bandwidth Pareto front across grouping factors (§III-B's
+// implicit design choice, quantified). Scenarios, table printer and metrics
+// emission live in the scenario registry
+// (src/scenario/builtin_extensions.cpp, suite "pareto_area_bw").
 #include "bench/bench_util.hpp"
-#include "src/analytics/area_model.hpp"
-#include "src/kernels/probes.hpp"
 
-namespace tcdm {
-namespace {
-
-void BM_pareto(benchmark::State& state, const std::string& preset, unsigned gf) {
-  ClusterConfig cfg = ClusterConfig::by_name(preset);
-  if (gf > 0) cfg = cfg.with_burst(gf);
-  RunnerOptions opts;
-  opts.verify = false;
-  opts.max_cycles = 10'000'000;
-  RandomProbeKernel probe(bench::probe_iters(cfg));
-  (void)bench::run_and_record(state, preset + "/gf" + std::to_string(gf), cfg, probe,
-                              opts);
-}
-
-const char* const kPresets[] = {"mp4spatz4", "mp64spatz4", "mp128spatz8"};
-
-void register_benchmarks() {
-  for (const char* preset : kPresets) {
-    for (unsigned gf : {0u, 2u, 4u, 8u}) {
-      benchmark::RegisterBenchmark(
-          ("pareto/" + std::string(preset) + "/gf" + std::to_string(gf)).c_str(),
-          [preset = std::string(preset), gf](benchmark::State& s) {
-            BM_pareto(s, preset, gf);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void print_table() {
-  std::printf("\n=== Ablation: area vs bandwidth Pareto across grouping factors ===\n");
-  TableWriter tw({"config", "GF", "probe BW [B/cyc/core]", "logic area [MGE]",
-                  "area overhead", "BW gain per +MGE"});
-  for (const char* preset : kPresets) {
-    const ClusterConfig base_cfg = ClusterConfig::by_name(preset);
-    const AreaBreakdown base_area = estimate_area(base_cfg);
-    const double base_bw = bench::results()[std::string(preset) + "/gf0"].bw_per_core;
-    for (unsigned gf : {0u, 2u, 4u, 8u}) {
-      const ClusterConfig cfg = gf == 0 ? base_cfg : base_cfg.with_burst(gf);
-      const AreaBreakdown area = estimate_area(cfg);
-      const auto& m = bench::results()[std::string(preset) + "/gf" + std::to_string(gf)];
-      const double extra_mge = (area.total() - base_area.total()) / 1e6;
-      const double gain_per_mge =
-          extra_mge > 0.0 ? (m.bw_per_core - base_bw) * cfg.num_cores() / extra_mge
-                          : 0.0;
-      tw.add_row({gf == 0 ? cfg.name : base_cfg.name, gf == 0 ? "-" : std::to_string(gf),
-                  fmt(m.bw_per_core), fmt(area.total() / 1e6),
-                  gf == 0 ? "-" : delta(area_overhead(base_area, area)),
-                  gf == 0 ? "-" : fmt(gain_per_mge) + " B/cyc"});
-    }
-    tw.add_separator();
-  }
-  tw.print(std::cout);
-  std::printf(
-      "On the Spatz4 clusters bandwidth saturates at GF == K == 4 while\n"
-      "response-channel area keeps growing: GF8 pays ~4%% extra area for\n"
-      "zero bandwidth — the sweet spot is exactly the paper's GF4.\n"
-      "On MP128Spatz8 (K = 8) gate count alone would justify GF4 or GF8;\n"
-      "the paper ships GF2 because of routing CONGESTION — a wire-level\n"
-      "constraint a logic-area model cannot see. This is a documented\n"
-      "fidelity limit of the substitution (DESIGN.md section 1).\n");
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("pareto_area_bw")

@@ -1,135 +1,7 @@
-// Table I reproduction: calculated memory bandwidth across cluster sizes and
-// configurations (paper §II-B), side by side with the cycle-level simulator's
-// random-access probe (the "measured" counterpart the paper plots as dashed
-// lines in Fig. 3).
-#include <cstdio>
-#include <iostream>
-
+// Table I reproduction: calculated memory bandwidth across cluster sizes
+// and configurations (paper §II-B) vs the cycle-level simulator's random-
+// access probe. Scenarios, table printer and metrics emission live in the
+// scenario registry (src/scenario/builtin_tables.cpp, suite "table1").
 #include "bench/bench_util.hpp"
-#include "src/analytics/bandwidth_model.hpp"
-#include "src/kernels/probes.hpp"
 
-namespace tcdm {
-namespace {
-
-ClusterConfig config_for(const std::string& preset, unsigned gf) {
-  ClusterConfig cfg = ClusterConfig::by_name(preset);
-  return gf == 0 ? cfg : cfg.with_burst(gf);
-}
-
-RunnerOptions probe_opts() {
-  RunnerOptions opts;
-  opts.verify = false;
-  opts.max_cycles = 3'000'000;
-  return opts;
-}
-
-/// Sim-metrics path: one probe run, recorded in the collector.
-KernelMetrics run_probe(const std::string& preset, unsigned gf) {
-  const ClusterConfig cfg = config_for(preset, gf);
-  RandomProbeKernel probe(bench::probe_iters(cfg));
-  return bench::run_experiment(preset + "/gf" + std::to_string(gf), cfg, probe,
-                               probe_opts());
-}
-
-void BM_probe(benchmark::State& state, const std::string& preset, unsigned gf) {
-  // Setup stays outside the timed loop so reported times are simulator-only.
-  const ClusterConfig cfg = config_for(preset, gf);
-  RandomProbeKernel probe(bench::probe_iters(cfg));
-  (void)bench::run_and_record(state, preset + "/gf" + std::to_string(gf), cfg, probe,
-                              probe_opts());
-}
-
-void register_benchmarks() {
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    for (unsigned gf : {0u, 2u, 4u}) {
-      benchmark::RegisterBenchmark(
-          (std::string("table1/") + preset + "/" + (gf == 0 ? "baseline" : "gf" + std::to_string(gf)))
-              .c_str(),
-          [preset, gf](benchmark::State& s) { BM_probe(s, preset, gf); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void print_table() {
-  // Paper Table I reference values (per-VLSU B/cycle).
-  struct PaperCol {
-    double base, gf2, gf4;
-  };
-  const std::map<std::string, PaperCol> paper = {
-      {"mp4spatz4", {7.00, 10.00, 16.00}},
-      {"mp64spatz4", {4.18, 8.13, 16.00}},
-      {"mp128spatz8", {4.22, 8.19, 16.13}},
-  };
-
-  std::printf("\n=== Table I: calculated memory bandwidth vs simulated random probe ===\n");
-  TableWriter tw({"config", "row", "peak", "baseline", "2xRsp (GF2)", "4xRsp (GF4)"});
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    const ClusterConfig cfg = ClusterConfig::by_name(preset);
-    const auto col = model::table1_column(cfg);
-    tw.add_row({preset, "model BW [B/cyc]", fmt(col.peak), fmt(col.baseline_bw),
-                fmt(col.gf2_bw), fmt(col.gf4_bw)});
-    tw.add_row({"", "model util", "", pct(col.baseline_util), pct(col.gf2_util),
-                pct(col.gf4_util)});
-    tw.add_row({"", "model improvement", "", "-", delta(col.gf2_improvement),
-                delta(col.gf4_improvement)});
-    tw.add_row({"", "paper BW [B/cyc]", "", fmt(paper.at(preset).base),
-                fmt(paper.at(preset).gf2), fmt(paper.at(preset).gf4)});
-    const auto& r0 = bench::results()[std::string(preset) + "/gf0"];
-    const auto& r2 = bench::results()[std::string(preset) + "/gf2"];
-    const auto& r4 = bench::results()[std::string(preset) + "/gf4"];
-    tw.add_row({"", "simulated BW [B/cyc]", "", fmt(r0.bw_per_core), fmt(r2.bw_per_core),
-                fmt(r4.bw_per_core)});
-    tw.add_row({"", "simulated util", "", pct(r0.bw_per_core / col.peak),
-                pct(r2.bw_per_core / col.peak), pct(r4.bw_per_core / col.peak)});
-    tw.add_row({"", "simulated improvement", "", "-",
-                delta(r2.bw_per_core / r0.bw_per_core - 1.0),
-                delta(r4.bw_per_core / r0.bw_per_core - 1.0)});
-    tw.add_separator();
-  }
-  tw.print(std::cout);
-  std::printf(
-      "Model rows reproduce the paper's closed forms (eqs. 1-5) exactly;\n"
-      "simulated rows add real contention (bank conflicts, arbitration,\n"
-      "finite ROBs), landing below the model as the paper's dashed\n"
-      "hierarchical-average lines do.\n");
-}
-
-void run_sweep() {
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    for (unsigned gf : {0u, 2u, 4u}) (void)run_probe(preset, gf);
-  }
-}
-
-metrics::MetricsDoc sim_metrics_doc() {
-  metrics::MetricsDoc doc;
-  doc.suite = "table1";
-  doc.description =
-      "Table I: closed-form bandwidth model (eqs. 1-5) and simulated "
-      "random-probe bandwidth, per-VLSU B/cycle";
-  for (const char* preset : {"mp4spatz4", "mp64spatz4", "mp128spatz8"}) {
-    const std::string p(preset);
-    const auto col = model::table1_column(ClusterConfig::by_name(preset));
-    doc.add(p + "/model/peak", col.peak, metrics::kModelRelTol);
-    doc.add(p + "/model/baseline_bw", col.baseline_bw, metrics::kModelRelTol);
-    doc.add(p + "/model/gf2_bw", col.gf2_bw, metrics::kModelRelTol);
-    doc.add(p + "/model/gf4_bw", col.gf4_bw, metrics::kModelRelTol);
-    doc.add(p + "/model/gf2_improvement", col.gf2_improvement, metrics::kModelRelTol);
-    doc.add(p + "/model/gf4_improvement", col.gf4_improvement, metrics::kModelRelTol);
-    for (unsigned gf : {0u, 2u, 4u}) {
-      const KernelMetrics& m = bench::results().at(p + "/gf" + std::to_string(gf));
-      const std::string prefix = p + "/" + (gf == 0 ? "baseline" : "gf" + std::to_string(gf));
-      doc.add(prefix + "/sim/bw_per_core", m.bw_per_core, metrics::kSimRelTol);
-      doc.add(prefix + "/sim/cycles", static_cast<double>(m.cycles), metrics::kSimRelTol);
-    }
-  }
-  return doc;
-}
-
-}  // namespace
-}  // namespace tcdm
-
-TCDM_BENCH_MAIN_WITH_METRICS(tcdm::register_benchmarks, tcdm::print_table,
-                             tcdm::run_sweep, tcdm::sim_metrics_doc)
+TCDM_SCENARIO_BENCH_MAIN("table1")

@@ -1,214 +1,7 @@
-// Table II reproduction: kernel performance and energy efficiency across the
-// three testbed clusters, baseline vs TCDM Burst (GF4 on MP4/MP64, GF2 on
-// MP128), with the activity-based power model standing in for the paper's
-// post-PnR PrimeTime flow (see DESIGN.md).
-#include <cstdio>
-#include <iostream>
-#include <memory>
-#include <tuple>
-#include <utility>
-#include <vector>
-
+// Table II reproduction: kernel performance and energy efficiency across
+// the three testbed clusters, baseline vs TCDM Burst. Scenarios, table
+// printer and metrics emission live in the scenario registry
+// (src/scenario/builtin_tables.cpp, suite "table2").
 #include "bench/bench_util.hpp"
-#include "src/analytics/power_model.hpp"
-#include "src/kernels/dotp.hpp"
-#include "src/kernels/fft.hpp"
-#include "src/kernels/matmul.hpp"
 
-namespace tcdm {
-namespace {
-
-struct Experiment {
-  std::string preset;
-  unsigned gf;  // 0 = baseline
-  std::string kernel;
-  // "baseline"/"gfN" naming matches the table1 and fig3 metric paths so the
-  // recorded baselines share one vocabulary.
-  std::string key() const {
-    return preset + "/" + (gf ? "gf" + std::to_string(gf) : "baseline") + "/" + kernel;
-  }
-};
-
-std::unique_ptr<Kernel> make_kernel(const std::string& preset, const std::string& kernel) {
-  if (preset == "mp4spatz4") {
-    if (kernel == "dotp") return std::make_unique<DotpKernel>(4096);
-    if (kernel == "fft") return std::make_unique<FftKernel>(1, 512);
-    if (kernel == "matmul-s") return std::make_unique<MatmulKernel>(16, 4);
-    if (kernel == "matmul-l") return std::make_unique<MatmulKernel>(64, 8);
-  } else if (preset == "mp64spatz4") {
-    if (kernel == "dotp") return std::make_unique<DotpKernel>(65536);
-    if (kernel == "fft") return std::make_unique<FftKernel>(4, 2048);
-    if (kernel == "matmul-s") return std::make_unique<MatmulKernel>(64, 4);
-    if (kernel == "matmul-l") return std::make_unique<MatmulKernel>(256, 8);
-  } else if (preset == "mp128spatz8") {
-    if (kernel == "dotp") return std::make_unique<DotpKernel>(131072);
-    if (kernel == "fft") return std::make_unique<FftKernel>(8, 4096);
-    if (kernel == "matmul-s") return std::make_unique<MatmulKernel>(128, 4);
-    if (kernel == "matmul-l") return std::make_unique<MatmulKernel>(256, 8);
-  }
-  throw std::invalid_argument("unknown experiment");
-}
-
-/// Power results keyed like the metrics collector.
-std::map<std::string, PowerBreakdown>& powers() {
-  static std::map<std::string, PowerBreakdown> p;
-  return p;
-}
-
-/// Shared per-experiment setup so the timed benchmark path and the
-/// sim-metrics sweep can never drift apart.
-struct ExperimentSetup {
-  ClusterConfig cfg;
-  std::unique_ptr<Kernel> kernel;
-  RunnerOptions opts;
-};
-
-ExperimentSetup make_setup(const Experiment& e) {
-  ExperimentSetup s;
-  s.cfg = ClusterConfig::by_name(e.preset);
-  if (e.gf) s.cfg = s.cfg.with_burst(e.gf);
-  s.kernel = make_kernel(e.preset, e.kernel);
-  s.opts.max_cycles = 50'000'000;
-  return s;
-}
-
-/// One run on a fresh cluster: kernel metrics plus the activity-based power
-/// estimate. No bookkeeping — callers record outside any timed loop.
-std::pair<KernelMetrics, PowerBreakdown> run_once(const ExperimentSetup& s) {
-  Cluster cluster(s.cfg);
-  const KernelMetrics m = run_kernel_on(cluster, *s.kernel, s.opts);
-  return {m, estimate_power(cluster, m.cycles, s.cfg.freq_tt_mhz)};
-}
-
-void record(const Experiment& e, const KernelMetrics& m, const PowerBreakdown& pw) {
-  bench::results()[e.key()] = m;
-  powers()[e.key()] = pw;
-}
-
-/// Sim-metrics path.
-KernelMetrics run_experiment(const Experiment& e) {
-  const auto [m, pw] = run_once(make_setup(e));
-  record(e, m, pw);
-  return m;
-}
-
-void BM_kernel(benchmark::State& state, const Experiment& e) {
-  // Setup and recording stay outside the timed loop so reported times are
-  // simulator-only.
-  const ExperimentSetup s = make_setup(e);
-  KernelMetrics m;
-  PowerBreakdown pw;
-  for (auto _ : state) {
-    std::tie(m, pw) = run_once(s);
-  }
-  record(e, m, pw);
-  state.counters["fpu_util_pct"] = 100.0 * m.fpu_util;
-  state.counters["gflops_ss"] = m.gflops_ss;
-  state.counters["gflops_tt"] = m.gflops_tt;
-  state.counters["power_w"] = pw.total();
-  state.counters["verified"] = m.verified ? 1.0 : 0.0;
-}
-
-const std::vector<Experiment>& experiments() {
-  static const std::vector<Experiment> v = [] {
-    std::vector<Experiment> out;
-    const struct {
-      const char* preset;
-      unsigned gf;
-    } configs[] = {{"mp4spatz4", 4}, {"mp64spatz4", 4}, {"mp128spatz8", 2}};
-    for (const auto& c : configs) {
-      for (const char* k : {"dotp", "fft", "matmul-s", "matmul-l"}) {
-        out.push_back({c.preset, 0, k});
-        out.push_back({c.preset, c.gf, k});
-      }
-    }
-    return out;
-  }();
-  return v;
-}
-
-void register_benchmarks() {
-  for (const Experiment& e : experiments()) {
-    benchmark::RegisterBenchmark(("table2/" + e.key()).c_str(),
-                                 [e](benchmark::State& s) { BM_kernel(s, e); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-}
-
-void print_table() {
-  std::printf("\n=== Table II: kernel performance and energy efficiency ===\n");
-  TableWriter tw({"config", "kernel", "size", "AI [F/B]", "FPU util", "GFLOPS@ss",
-                  "GFLOPS@tt", "Power@tt [W]", "GFLOPS/W", "eff. vs base", "ok"});
-  for (const auto& c :
-       std::vector<std::pair<std::string, unsigned>>{{"mp4spatz4", 4u},
-                                                     {"mp64spatz4", 4u},
-                                                     {"mp128spatz8", 2u}}) {
-    for (const char* k : {"dotp", "fft", "matmul-s", "matmul-l"}) {
-      const std::string kb = c.first + "/baseline/" + k;
-      const std::string kg = c.first + "/gf" + std::to_string(c.second) + "/" + k;
-      const KernelMetrics& mb = bench::results()[kb];
-      const KernelMetrics& mg = bench::results()[kg];
-      const PowerBreakdown& pb = powers()[kb];
-      const PowerBreakdown& pg = powers()[kg];
-      const double eff_b = energy_efficiency(mb.gflops_tt, pb);
-      const double eff_g = energy_efficiency(mg.gflops_tt, pg);
-      tw.add_row({c.first + " base", mb.kernel, mb.size, fmt(mb.arithmetic_intensity),
-                  pct(mb.fpu_util), fmt(mb.gflops_ss), fmt(mb.gflops_tt),
-                  fmt(pb.total()), fmt(eff_b), "-", mb.verified ? "OK" : "FAIL"});
-      tw.add_row({c.first + " GF" + std::to_string(c.second), mg.kernel, mg.size,
-                  fmt(mg.arithmetic_intensity), pct(mg.fpu_util), fmt(mg.gflops_ss),
-                  fmt(mg.gflops_tt), fmt(pg.total()), fmt(eff_g),
-                  delta(eff_g / eff_b - 1.0), mg.verified ? "OK" : "FAIL"});
-    }
-    tw.add_separator();
-  }
-  tw.print(std::cout);
-  std::printf(
-      "Performance improvements (GF vs baseline, simulated):\n");
-  for (const auto& c :
-       std::vector<std::pair<std::string, unsigned>>{{"mp4spatz4", 4u},
-                                                     {"mp64spatz4", 4u},
-                                                     {"mp128spatz8", 2u}}) {
-    for (const char* k : {"dotp", "fft", "matmul-s", "matmul-l"}) {
-      const auto& mb = bench::results()[c.first + "/baseline/" + k];
-      const auto& mg =
-          bench::results()[c.first + "/gf" + std::to_string(c.second) + "/" + k];
-      if (mb.cycles == 0) continue;
-      std::printf("  %-12s %-9s %s\n", c.first.c_str(), k,
-                  delta(mg.flops_per_cycle / mb.flops_per_cycle - 1.0).c_str());
-    }
-  }
-  std::printf(
-      "\nPaper reference (Table II): dotp +106%%/+176%%/+80%%, fft +41%%/+64%%/+47%%,\n"
-      "matmul small +2%%/+35%%/+62%%, matmul large ~0%%/+2%%/+12%% across\n"
-      "MP4Spatz4/MP64Spatz4/MP128Spatz8 respectively.\n");
-}
-
-void run_sweep() {
-  for (const Experiment& e : experiments()) (void)run_experiment(e);
-}
-
-metrics::MetricsDoc sim_metrics_doc() {
-  metrics::MetricsDoc doc;
-  doc.suite = "table2";
-  doc.description =
-      "Table II: kernel performance and energy efficiency, baseline vs TCDM "
-      "Burst (GF4 on MP4/MP64, GF2 on MP128)";
-  for (const Experiment& e : experiments()) {
-    const KernelMetrics& m = bench::results().at(e.key());
-    const PowerBreakdown& pw = powers().at(e.key());
-    doc.add_kernel_metrics(e.key(), m);
-    doc.add(e.key() + "/gflops_tt", m.gflops_tt, metrics::kSimRelTol);
-    doc.add(e.key() + "/power_w", pw.total(), metrics::kSimRelTol);
-    doc.add(e.key() + "/gflops_per_w", energy_efficiency(m.gflops_tt, pw),
-            metrics::kSimRelTol);
-  }
-  return doc;
-}
-
-}  // namespace
-}  // namespace tcdm
-
-TCDM_BENCH_MAIN_WITH_METRICS(tcdm::register_benchmarks, tcdm::print_table,
-                             tcdm::run_sweep, tcdm::sim_metrics_doc)
+TCDM_SCENARIO_BENCH_MAIN("table2")

@@ -1,91 +1,7 @@
-// Synthetic-traffic study: replay controlled access patterns (the NoC
-// methodology) on MP64Spatz4, baseline vs GF4. Separates the burst win by
-// traffic shape: local traffic cannot improve (it never crosses the
-// hierarchical ports), neighbor/uniform traffic improves by the full
-// response-width factor, and a hotspot is bank-limited at the hot tile so
-// bursts recover much less.
-#include <cstdio>
-#include <iostream>
-
+// Synthetic-traffic study: replay controlled access patterns on MP64Spatz4,
+// baseline vs GF4. Scenarios, table printer and metrics emission live in
+// the scenario registry (src/scenario/builtin_extensions.cpp, suite
+// "trace_patterns").
 #include "bench/bench_util.hpp"
-#include "src/kernels/trace_replay.hpp"
 
-namespace tcdm {
-namespace {
-
-struct PatternCase {
-  const char* name;
-  TracePattern pattern;
-};
-
-constexpr PatternCase kPatterns[] = {
-    {"local", TracePattern::kLocal},
-    {"neighbor", TracePattern::kNeighbor},
-    {"uniform", TracePattern::kUniform},
-    {"hotspot", TracePattern::kHotspot},
-};
-
-void BM_trace(benchmark::State& state, const PatternCase& pc, bool burst) {
-  ClusterConfig cfg = ClusterConfig::mp64spatz4();
-  if (burst) cfg = cfg.with_burst(4);
-  TraceConfig tc;
-  tc.pattern = pc.pattern;
-  tc.entries_per_hart = 64;
-  tc.seed = 31;
-  TraceReplayKernel k(synthetic_trace(cfg, tc));
-  RunnerOptions opts;
-  opts.verify = false;
-  opts.max_cycles = 20'000'000;
-  (void)bench::run_and_record(
-      state, std::string(pc.name) + (burst ? "/gf4" : "/base"), cfg, k, opts);
-}
-
-void register_benchmarks() {
-  for (const PatternCase& pc : kPatterns) {
-    for (bool burst : {false, true}) {
-      benchmark::RegisterBenchmark(
-          ("trace_patterns/" + std::string(pc.name) + (burst ? "/gf4" : "/base"))
-              .c_str(),
-          [&pc, burst](benchmark::State& s) { BM_trace(s, pc, burst); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void print_table() {
-  std::printf(
-      "\n=== Synthetic traffic patterns on MP64Spatz4 (trace replay, 64 "
-      "accesses/hart) ===\n");
-  TableWriter tw({"pattern", "base BW [B/cyc/core]", "GF4 BW [B/cyc/core]",
-                  "burst gain", "base cycles", "GF4 cycles"});
-  for (const PatternCase& pc : kPatterns) {
-    const auto& b = bench::results()[std::string(pc.name) + "/base"];
-    const auto& g = bench::results()[std::string(pc.name) + "/gf4"];
-    tw.add_row({pc.name, fmt(b.bw_per_core), fmt(g.bw_per_core),
-                delta(g.bw_per_core / b.bw_per_core - 1.0), std::to_string(b.cycles),
-                std::to_string(g.cycles)});
-  }
-  tw.print(std::cout);
-  std::printf(
-      "Local traffic rides the full-width tile crossbar — bursts change\n"
-      "nothing. Neighbor and uniform remote traffic gain the response-width\n"
-      "factor. The hotspot is serialized by the hot tile's banks and\n"
-      "response ports, not by the requesters' channels, so bursts recover\n"
-      "only part of the loss — congestion the paper's Fig. 1 attributes to\n"
-      "port competition remains when the destination itself is the\n"
-      "bottleneck.\n");
-}
-
-}  // namespace
-}  // namespace tcdm
-
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  tcdm::register_benchmarks();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  tcdm::print_table();
-  return 0;
-}
+TCDM_SCENARIO_BENCH_MAIN("trace_patterns")

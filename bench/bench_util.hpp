@@ -1,9 +1,12 @@
-// Shared infrastructure for the paper-reproduction benchmark binaries.
-//
-// Each binary registers google-benchmark cases (one iteration each — these
-// are cycle-accurate simulations, not timing micro-benchmarks; the simulated
-// metrics are attached as benchmark counters) and afterwards prints the
-// corresponding paper table with simulated vs. published values.
+// google-benchmark adapter over the scenario registry. Each paper-artifact
+// binary is one TCDM_SCENARIO_BENCH_MAIN(suite) line: the suite's scenarios
+// become benchmark cases (one iteration each — these are cycle-accurate
+// simulations, the simulated metrics ride along as counters), the suite's
+// table printer runs afterwards, and `--metrics-out <file>` switches to the
+// sim-metrics sweep that serializes the suite's versioned metrics JSON for
+// the regression gate. `tools/tcdm_run` drives the same registry without
+// google-benchmark; the per-binary entry points remain for familiarity and
+// for benchmark-tool interoperability (filters, repetitions, JSON output).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -11,20 +14,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
+#include <exception>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "src/analytics/metrics_export.hpp"
-#include "src/analytics/report.hpp"
-#include "src/cluster/kernel_runner.hpp"
+#include "src/scenario/builtin.hpp"
+#include "src/scenario/emit.hpp"
+#include "src/scenario/runner.hpp"
 
 namespace tcdm::bench {
-
-/// Collected per-experiment results, keyed by experiment label.
-inline std::map<std::string, KernelMetrics>& results() {
-  static std::map<std::string, KernelMetrics> r;
-  return r;
-}
 
 /// Sim-metrics mode (`--metrics-out <file>` / `--metrics-out=<file>`): run
 /// the deterministic scenario sweep directly — no google-benchmark timing
@@ -64,90 +63,75 @@ inline MetricsOut parse_metrics_out(int& argc, char** argv) {
   return mo;
 }
 
-/// Random-probe iteration count for a configuration: scaled down on the
-/// 1024-FPU preset to bound sweep wall-clock. Shared by every bench that
-/// measures hierarchical-average bandwidth so the Table I, Fig. 3 and
-/// Pareto probes (and their recorded baselines) stay in lockstep.
-inline unsigned probe_iters(const ClusterConfig& cfg) {
-  return cfg.num_cores() >= 128 ? 64 : 128;
+/// Attach the simulated metrics as counters on a google-benchmark case.
+inline void attach_counters(benchmark::State& state, const scenario::ScenarioResult& r) {
+  state.counters["sim_cycles"] = static_cast<double>(r.metrics.cycles);
+  state.counters["fpu_util_pct"] = 100.0 * r.metrics.fpu_util;
+  state.counters["bw_B_per_cyc_per_core"] = r.metrics.bw_per_core;
+  state.counters["gflops_ss"] = r.metrics.gflops_ss;
+  state.counters["gflops_tt"] = r.metrics.gflops_tt;
+  state.counters["power_w"] = r.power.total();
+  state.counters["verified"] = r.metrics.verified ? 1.0 : 0.0;
 }
 
-/// Run one experiment outside any benchmark::State and record it in the
-/// collector — the sim-metrics counterpart of run_and_record.
-inline KernelMetrics run_experiment(const std::string& key, const ClusterConfig& cfg,
-                                    Kernel& kernel, RunnerOptions opts = {}) {
-  KernelMetrics m = run_kernel(cfg, kernel, opts);
-  results()[key] = m;
-  return m;
-}
-
-/// Write `doc` to `path`, reporting success on stderr (stdout stays clean
-/// for table output when both modes are combined in scripts). IO failures
-/// exit 2 like the other usage errors instead of escaping main as an
-/// exception.
-inline void write_metrics(const metrics::MetricsDoc& doc, const std::string& path) {
+/// Sim-metrics path: sweep the whole suite (serially — CI parallelism goes
+/// through `tcdm_run emit -j`) and write its metrics document.
+inline int run_metrics_mode(const std::string& suite, const std::string& path) {
+  using namespace tcdm::scenario;
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
+  const std::vector<ScenarioResult> results = run_scenarios(reg.suite_scenarios(suite));
   try {
+    ResultSet set;
+    for (const ScenarioResult& r : results) set.add(r);
+    const metrics::MetricsDoc doc = build_doc(reg, suite, set);
     doc.write_file(path);
+    std::fprintf(stderr, "wrote %zu metrics to %s\n", doc.metrics.size(), path.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "metrics-out: %s\n", e.what());
-    std::exit(2);
+    return 2;
   }
-  std::fprintf(stderr, "wrote %zu metrics to %s\n", doc.metrics.size(), path.c_str());
+  return 0;
 }
 
-/// Attach the simulated metrics as counters on a google-benchmark case.
-inline void attach_counters(benchmark::State& state, const KernelMetrics& m) {
-  state.counters["sim_cycles"] = static_cast<double>(m.cycles);
-  state.counters["fpu_util_pct"] = 100.0 * m.fpu_util;
-  state.counters["bw_B_per_cyc_per_core"] = m.bw_per_core;
-  state.counters["gflops_ss"] = m.gflops_ss;
-  state.counters["verified"] = m.verified ? 1.0 : 0.0;
+/// Standard main body for a suite binary.
+inline int scenario_bench_main(int argc, char** argv, const std::string& suite) {
+  scenario::register_builtin();
+  const MetricsOut mo = parse_metrics_out(argc, argv);
+  if (mo.enabled()) return run_metrics_mode(suite, mo.path);
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  // Results land in a shared set as cases run (google-benchmark executes
+  // serially), so the suite printer sees whatever the filter let through.
+  static scenario::ResultSet results;
+  for (const scenario::ScenarioSpec* spec :
+       scenario::ScenarioRegistry::instance().suite_scenarios(suite)) {
+    benchmark::RegisterBenchmark(spec->name.c_str(),
+                                 [spec](benchmark::State& state) {
+                                   scenario::ScenarioResult r;
+                                   for (auto _ : state) {
+                                     r = scenario::run_scenario(*spec);
+                                   }
+                                   attach_counters(state, r);
+                                   if (!r.ok()) state.SkipWithError(r.error.c_str());
+                                   results.upsert(std::move(r));
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  const scenario::SuiteSpec& s = scenario::ScenarioRegistry::instance().suite(suite);
+  if (s.print) s.print(results);
+  return 0;
 }
-
-/// Run a kernel and record both google-benchmark counters and the collector.
-inline KernelMetrics run_and_record(benchmark::State& state, const std::string& key,
-                                    const ClusterConfig& cfg, Kernel& kernel,
-                                    RunnerOptions opts = {}) {
-  KernelMetrics m;
-  for (auto _ : state) {
-    m = run_kernel(cfg, kernel, opts);
-  }
-  attach_counters(state, m);
-  results()[key] = m;
-  return m;
-}
-
-/// Standard main: run all registered benchmarks, then the table printer.
-#define TCDM_BENCH_MAIN(print_fn)                                    \
-  int main(int argc, char** argv) {                                  \
-    ::benchmark::Initialize(&argc, argv);                            \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                           \
-    ::benchmark::Shutdown();                                         \
-    print_fn();                                                      \
-    return 0;                                                        \
-  }
-
-/// Main for the paper-table binaries with a sim-metrics mode. Without
-/// --metrics-out this is the usual register/run/print flow; with it, the
-/// binary runs `sweep_fn` (the same deterministic scenario sweep, plain
-/// function calls) and writes `doc_fn()` as JSON instead.
-#define TCDM_BENCH_MAIN_WITH_METRICS(register_fn, print_fn, sweep_fn, doc_fn)   \
-  int main(int argc, char** argv) {                                             \
-    const ::tcdm::bench::MetricsOut mo =                                        \
-        ::tcdm::bench::parse_metrics_out(argc, argv);                           \
-    if (mo.enabled()) {                                                         \
-      sweep_fn();                                                               \
-      ::tcdm::bench::write_metrics(doc_fn(), mo.path);                          \
-      return 0;                                                                 \
-    }                                                                           \
-    ::benchmark::Initialize(&argc, argv);                                       \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;         \
-    register_fn();                                                              \
-    ::benchmark::RunSpecifiedBenchmarks();                                      \
-    ::benchmark::Shutdown();                                                    \
-    print_fn();                                                                 \
-    return 0;                                                                   \
-  }
 
 }  // namespace tcdm::bench
+
+/// One line per paper-artifact binary.
+#define TCDM_SCENARIO_BENCH_MAIN(suite)                                   \
+  int main(int argc, char** argv) {                                       \
+    return ::tcdm::bench::scenario_bench_main(argc, argv, suite);         \
+  }

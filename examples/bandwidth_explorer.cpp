@@ -1,21 +1,35 @@
 // Bandwidth explorer: measure the hierarchical-average bandwidth of any
 // preset cluster under random vector-load traffic and compare it against
-// the paper's analytical model (Table I).
+// the paper's analytical model (Table I). A thin front-end over the
+// scenario registry's "explorer" suite (also reachable as
+// `tcdm_run run 'explorer/<preset>/<variant>/*'`).
 //
-//   $ ./bandwidth_explorer [mp4spatz4|mp64spatz4|mp128spatz8] [gf]
+//   $ ./bandwidth_explorer [mp4spatz4|mp64spatz4|mp128spatz8] [gf: 0|2|4|8]
 //   $ ./bandwidth_explorer mp64spatz4 4
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "src/analytics/bandwidth_model.hpp"
-#include "src/cluster/kernel_runner.hpp"
-#include "src/kernels/probes.hpp"
+#include "src/scenario/builtin.hpp"
+#include "src/scenario/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcdm;
   const std::string preset = argc > 1 ? argv[1] : "mp64spatz4";
   const unsigned gf = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
+  const std::string variant = gf == 0 ? "baseline" : "gf" + std::to_string(gf);
+
+  scenario::register_builtin();
+  const auto& reg = scenario::ScenarioRegistry::instance();
+  const auto selection = reg.select("explorer/" + preset + "/" + variant + "/*");
+  if (selection.empty()) {
+    std::fprintf(stderr,
+                 "no registered explorer scenarios for %s/%s — see "
+                 "`tcdm_run list 'explorer/*'` for the available sweep\n",
+                 preset.c_str(), variant.c_str());
+    return 2;
+  }
 
   ClusterConfig cfg = ClusterConfig::by_name(preset);
   if (gf > 0) cfg = cfg.with_burst(gf);
@@ -23,23 +37,17 @@ int main(int argc, char** argv) {
               cfg.num_cores(), cfg.vlsu_ports, cfg.num_banks(),
               cfg.burst_enabled ? "TCDM Burst enabled" : "baseline interconnect");
 
-  const struct {
-    const char* name;
-    RandomProbeKernel::Pattern pattern;
-  } patterns[] = {
-      {"uniform random (paper probe)", RandomProbeKernel::Pattern::kUniform},
-      {"remote-only", RandomProbeKernel::Pattern::kRemoteOnly},
-      {"local-only", RandomProbeKernel::Pattern::kLocalOnly},
-  };
-
-  RunnerOptions opts;
-  opts.verify = false;
-  opts.max_cycles = 5'000'000;
-  for (const auto& p : patterns) {
-    RandomProbeKernel probe(cfg.num_cores() >= 128 ? 64 : 128, p.pattern);
-    const KernelMetrics m = run_kernel(cfg, probe, opts);
-    std::printf("  %-30s %6.2f B/cyc/core  (%5.1f%% of peak)\n", p.name, m.bw_per_core,
-                100.0 * m.bw_per_core / cfg.vlsu_peak_bw());
+  const char* label[] = {"uniform random (paper probe)", "remote-only", "local-only"};
+  unsigned i = 0;
+  for (const scenario::ScenarioResult& r : scenario::run_scenarios(selection)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", r.name.c_str(), r.error.c_str());
+      return 1;
+    }
+    std::printf("  %-30s %6.2f B/cyc/core  (%5.1f%% of peak)\n",
+                i < 3 ? label[i] : r.rel.c_str(), r.metrics.bw_per_core,
+                100.0 * r.metrics.bw_per_core / cfg.vlsu_peak_bw());
+    ++i;
   }
 
   const unsigned eff_gf = cfg.burst_enabled ? cfg.grouping_factor : 1;

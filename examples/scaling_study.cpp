@@ -1,72 +1,37 @@
 // Scaling study: the paper's headline claim is that TCDM Burst lets
-// shared-L1 vector clusters scale "beyond 1000 FPUs". This example sweeps
-// custom cluster sizes (4 -> 128 tiles, i.e. 16 -> 1024 FPUs) with a
-// constant per-core working set, and prints how baseline and GF4 bandwidth
-// utilization evolve with scale — the trend of Table I's utilization rows.
+// shared-L1 vector clusters scale "beyond 1000 FPUs". Sweeps custom
+// cluster sizes (4 -> 128 tiles, 16 -> 1024 FPUs) with a constant per-core
+// working set and prints how baseline and GF4 bandwidth utilization evolve
+// with scale. A thin front-end over the scenario registry's "scaling"
+// suite (also reachable as `tcdm_run run 'scaling/*' -j 4`).
 //
-//   $ ./scaling_study
+//   $ ./scaling_study [jobs]
 #include <cstdio>
-#include <string>
+#include <cstdlib>
 #include <vector>
 
-#include "src/cluster/kernel_runner.hpp"
-#include "src/kernels/dotp.hpp"
+#include "src/scenario/builtin.hpp"
+#include "src/scenario/emit.hpp"
+#include "src/scenario/runner.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace tcdm::scenario;
+  register_builtin();
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
 
-/// A MemPool-style configuration with `tiles` tiles of 4 FPUs each,
-/// grouped 16 tiles per group above 16 tiles (the MP64Spatz4 pattern).
-tcdm::ClusterConfig scaled_config(unsigned tiles) {
-  tcdm::ClusterConfig c = tcdm::ClusterConfig::mp4spatz4();
-  c.name = "mp" + std::to_string(tiles) + "spatz4";
-  c.num_tiles = tiles;
-  if (tiles <= 16) {
-    c.level_sizes = {tiles};
-    c.level_latency = {{1, 1}};
-    if (tiles > 1) {
-      c.level_sizes = {1, tiles};
-      c.level_latency = {{1, 1}, {1, 1}};
-    }
-  } else {
-    c.level_sizes = {16, tiles / 16};
-    c.level_latency = {{1, 1}, {2, 2}};
-  }
-  return c;
-}
-
-}  // namespace
-
-int main() {
-  using namespace tcdm;
-  std::printf("Scaling study: DotP, 1024 elements per core, baseline vs GF4\n\n");
-  std::printf("%8s %6s | %21s | %21s | %s\n", "", "", "baseline", "GF4 burst", "");
-  std::printf("%8s %6s | %10s %10s | %10s %10s | %s\n", "tiles", "FPUs", "BW/core",
-              "util", "BW/core", "util", "speedup");
-
-  for (unsigned tiles : {4u, 16u, 32u, 64u, 128u}) {
-    const ClusterConfig base_cfg = scaled_config(tiles);
-    const ClusterConfig gf4_cfg = base_cfg.with_burst(4);
-    const unsigned n = 1024 * base_cfg.num_cores();
-
-    RunnerOptions opts;
-    opts.max_cycles = 20'000'000;
-    DotpKernel k1(n), k2(n);
-    const KernelMetrics base = run_kernel(base_cfg, k1, opts);
-    const KernelMetrics gf4 = run_kernel(gf4_cfg, k2, opts);
-    if (!base.verified || !gf4.verified) {
-      std::fprintf(stderr, "verification failed at %u tiles\n", tiles);
+  SweepOptions opts;
+  opts.jobs = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 1;
+  std::vector<ScenarioResult> results =
+      run_scenarios(reg.suite_scenarios("scaling"), opts);
+  for (const ScenarioResult& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", r.name.c_str(), r.error.c_str());
       return 1;
     }
-    std::printf("%8u %6u | %10.2f %9.1f%% | %10.2f %9.1f%% | %.2fx\n", tiles,
-                base_cfg.num_fpus(), base.bw_per_core,
-                100.0 * base.bw_per_core / base_cfg.vlsu_peak_bw(), gf4.bw_per_core,
-                100.0 * gf4.bw_per_core / gf4_cfg.vlsu_peak_bw(),
-                static_cast<double>(base.cycles) / gf4.cycles);
   }
 
-  std::printf(
-      "\nBaseline utilization collapses with scale (more remote traffic,\n"
-      "same serialized ports); GF4 holds utilization high — the paper's\n"
-      "scalability argument in one sweep.\n");
+  ResultSet set;
+  for (ScenarioResult& r : results) set.add(std::move(r));
+  reg.suite("scaling").print(set);
   return 0;
 }

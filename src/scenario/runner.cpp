@@ -1,0 +1,128 @@
+#include "src/scenario/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/cluster/cluster.hpp"
+
+namespace tcdm::scenario {
+
+void ResultSet::add(ScenarioResult r) {
+  if (!index_.emplace(r.rel, ordered_.size()).second) {
+    throw std::invalid_argument("duplicate result for: " + r.name);
+  }
+  ordered_.push_back(std::move(r));
+}
+
+void ResultSet::upsert(ScenarioResult r) {
+  const auto it = index_.find(r.rel);
+  if (it == index_.end()) {
+    add(std::move(r));
+  } else {
+    ordered_[it->second] = std::move(r);
+  }
+}
+
+const ScenarioResult& ResultSet::at(const std::string& rel) const {
+  const ScenarioResult* r = find(rel);
+  if (r == nullptr) throw std::out_of_range("no scenario result for: " + rel);
+  return *r;
+}
+
+const ScenarioResult* ResultSet::find(const std::string& rel) const {
+  const auto it = index_.find(rel);
+  return it == index_.end() ? nullptr : &ordered_[it->second];
+}
+
+const KernelMetrics& ResultSet::metrics(const std::string& rel) const {
+  static const KernelMetrics kEmpty{};
+  const ScenarioResult* r = find(rel);
+  return r == nullptr ? kEmpty : r->metrics;
+}
+
+const PowerBreakdown& ResultSet::power(const std::string& rel) const {
+  static const PowerBreakdown kEmpty{};
+  const ScenarioResult* r = find(rel);
+  return r == nullptr ? kEmpty : r->power;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioResult r;
+  r.name = spec.name;
+  r.rel = spec.rel();
+  try {
+    const ClusterConfig cfg = spec.config();
+    const std::unique_ptr<Kernel> kernel = spec.kernel();
+    Cluster cluster(cfg);
+    r.metrics = run_kernel_on(cluster, *kernel, spec.opts);
+    r.power = estimate_power(cluster, r.metrics.cycles, cfg.freq_tt_mhz);
+    if (r.metrics.timed_out) {
+      r.error = "timed out after " + std::to_string(r.metrics.cycles) + " cycles";
+    } else if (spec.opts.verify && spec.expect_verified && !r.metrics.verified) {
+      r.error = "golden verification failed";
+    }
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>& specs,
+                                          const SweepOptions& opts) {
+  std::vector<ScenarioResult> slots(specs.size());
+  unsigned jobs = opts.jobs == 0 ? std::thread::hardware_concurrency() : opts.jobs;
+  if (jobs == 0) jobs = 1;
+  jobs = std::min<unsigned>(jobs, static_cast<unsigned>(specs.size()));
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      slots[i] = run_scenario(*specs[i]);
+      if (opts.on_done) opts.on_done(slots[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex done_mutex;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= specs.size()) return;
+        slots[i] = run_scenario(*specs[i]);
+        if (opts.on_done) {
+          const std::lock_guard<std::mutex> lock(done_mutex);
+          opts.on_done(slots[i]);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  return slots;
+}
+
+std::vector<std::pair<std::string, ResultSet>> group_by_suite(
+    std::vector<ScenarioResult> results) {
+  std::vector<std::pair<std::string, ResultSet>> out;
+  for (ScenarioResult& r : results) {
+    const std::string suite = r.name.substr(0, r.name.find('/'));
+    auto it = out.begin();
+    for (; it != out.end(); ++it) {
+      if (it->first == suite) break;
+    }
+    if (it == out.end()) {
+      out.emplace_back(suite, ResultSet{});
+      it = std::prev(out.end());
+    }
+    it->second.add(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace tcdm::scenario

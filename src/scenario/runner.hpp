@@ -1,0 +1,40 @@
+// SweepRunner: execute any selection of scenarios, serially or on a thread
+// pool (one fresh Cluster per run; scenarios are independent). Results come
+// back in the selection's (registration) order regardless of worker count,
+// so serial and parallel sweeps are interchangeable byte for byte.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/scenario/scenario.hpp"
+
+namespace tcdm::scenario {
+
+struct SweepOptions {
+  /// Worker threads; 0 means one per hardware thread, 1 runs inline.
+  unsigned jobs = 1;
+  /// Progress callback, invoked as each scenario finishes (serialized; may
+  /// be called from worker threads but never concurrently).
+  std::function<void(const ScenarioResult&)> on_done;
+};
+
+/// Run one scenario on a fresh cluster. Never throws: failures (exceptions,
+/// timeouts, failed expected verification) land in ScenarioResult::error.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Run every scenario in `specs` and collect results in the same order.
+/// The selection may span suites; group with group_by_suite for per-suite
+/// consumers (printers, emission).
+[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
+    const std::vector<const ScenarioSpec*>& specs, const SweepOptions& opts = {});
+
+/// Partition a sweep's results into suite-scoped ResultSets, suites in
+/// first-appearance order. Relative names are only unique within a suite,
+/// so cross-suite consumers must go through this.
+[[nodiscard]] std::vector<std::pair<std::string, ResultSet>> group_by_suite(
+    std::vector<ScenarioResult> results);
+
+}  // namespace tcdm::scenario

@@ -131,9 +131,15 @@ void Vlsu::issue(Cycle now, TileServices& tile, std::array<VInstr, kVInstrSlots>
             assert(false && "non-memory opcode in VLSU");
         }
         if (w.addr % kWordBytes != 0 || !tile.map().valid(w.addr)) {
-          throw std::runtime_error(
-              "vector access out of TCDM range or misaligned: addr=" +
-              std::to_string(w.addr) + " element=" + std::to_string(e));
+          // Identify the faulting hart (== tile: one core complex per tile)
+          // so multi-hart programs can attribute faults from remote tiles.
+          std::string msg = "vector access out of TCDM range or misaligned: addr=";
+          msg += std::to_string(w.addr);
+          msg += " element=";
+          msg += std::to_string(e);
+          msg += " hart=";
+          msg += std::to_string(tile.tile_id());
+          throw std::runtime_error(msg);
         }
         w.port = static_cast<std::uint8_t>(p);
         if (is_store) {

@@ -2,7 +2,9 @@
 // on malformed programs — out-of-range or misaligned memory accesses,
 // deadlocks (runaway loops, mismatched barriers) — rather than corrupting
 // state or hanging. These are the contracts a downstream user debugging
-// their own kernels relies on.
+// their own kernels relies on. Vector-path contracts are swept over
+// baseline/GF2/GF4 (the burst path rewrites how loads travel), and faults
+// raised on remote tiles must be attributed to the offending hart.
 #include <gtest/gtest.h>
 
 #include "src/cluster/cluster.hpp"
@@ -41,8 +43,14 @@ TEST(FaultHandling, ScalarMisalignedAccessThrows) {
   EXPECT_THROW((void)cluster.run(100'000), std::runtime_error);
 }
 
-TEST(FaultHandling, VectorLoadRunningOffTheEndThrows) {
-  MAKE_CLUSTER(cluster);
+// The vector-path (VLSU / Burst Sender) fault checks must hold in every
+// interconnect configuration: the burst path rewrites how loads travel, so
+// each malformed-program contract is swept over baseline/GF2/GF4.
+class VectorFaultSweep : public test::BurstSweepTest {};
+
+TEST_P(VectorFaultSweep, VectorLoadRunningOffTheEndThrows) {
+  Cluster cluster(config());
+  cluster.set_watchdog_window(2000);
   ProgramBuilder pb("oob_vle");
   // Base 8 words before the end, vl = 16: elements 8.. overflow.
   pb.li(t0, static_cast<std::int32_t>(cluster.map().total_bytes() - 8 * kWordBytes));
@@ -53,8 +61,9 @@ TEST(FaultHandling, VectorLoadRunningOffTheEndThrows) {
   EXPECT_THROW((void)cluster.run(100'000), std::runtime_error);
 }
 
-TEST(FaultHandling, VectorMisalignedBaseThrows) {
-  MAKE_CLUSTER(cluster);
+TEST_P(VectorFaultSweep, VectorMisalignedBaseThrows) {
+  Cluster cluster(config());
+  cluster.set_watchdog_window(2000);
   ProgramBuilder pb("misaligned_vle");
   pb.li(t0, 2);
   pb.li(t1, 4);
@@ -64,8 +73,9 @@ TEST(FaultHandling, VectorMisalignedBaseThrows) {
   EXPECT_THROW((void)cluster.run(100'000), std::runtime_error);
 }
 
-TEST(FaultHandling, StridedLoadEscapingMemoryThrows) {
-  MAKE_CLUSTER(cluster);
+TEST_P(VectorFaultSweep, StridedLoadEscapingMemoryThrows) {
+  Cluster cluster(config());
+  cluster.set_watchdog_window(2000);
   ProgramBuilder pb("oob_vlse");
   pb.li(t0, 0);
   pb.li(t1, 8);
@@ -77,8 +87,9 @@ TEST(FaultHandling, StridedLoadEscapingMemoryThrows) {
   EXPECT_THROW((void)cluster.run(100'000), std::runtime_error);
 }
 
-TEST(FaultHandling, IndexedGatherWithBadIndexThrows) {
-  MAKE_CLUSTER(cluster);
+TEST_P(VectorFaultSweep, IndexedGatherWithBadIndexThrows) {
+  Cluster cluster(config());
+  cluster.set_watchdog_window(2000);
   // v4 holds byte offsets; load them from memory first (offset table at 0).
   cluster.write_word(0, 0);
   cluster.write_word(4, 0x00ffffff);  // far out of range (and misaligned)
@@ -91,6 +102,57 @@ TEST(FaultHandling, IndexedGatherWithBadIndexThrows) {
   cluster.load_program(with_epilogue(pb));
   EXPECT_THROW((void)cluster.run(100'000), std::runtime_error);
 }
+
+TEST_P(VectorFaultSweep, MismatchedBarrierDeadlockIsCaughtByWatchdog) {
+  // The watchdog must keep seeing through burst traffic: hart 0 halts, the
+  // rest block at a barrier that can never complete, and the hang is
+  // reported instead of spinning — regardless of the interconnect config.
+  Cluster cluster(config());
+  cluster.set_watchdog_window(2000);
+  std::vector<Program> programs;
+  ProgramBuilder skip("skip");
+  skip.halt();
+  programs.push_back(skip.build());
+  for (unsigned h = 1; h < cluster.config().num_cores(); ++h) {
+    ProgramBuilder w("wait");
+    w.barrier();
+    w.halt();
+    programs.push_back(w.build());
+  }
+  cluster.load_programs(std::move(programs));
+  EXPECT_THROW((void)cluster.run(1'000'000), DeadlockError);
+}
+
+TEST_P(VectorFaultSweep, RemoteTileFaultIsAttributedToItsHart) {
+  // A fault raised by a hart on a remote (non-zero) tile must name that
+  // hart, so a user debugging a 1000-FPU run knows where to look.
+  Cluster cluster(config());
+  cluster.set_watchdog_window(2000);
+  const unsigned faulty = cluster.config().num_cores() - 1;
+  std::vector<Program> programs;
+  for (unsigned h = 0; h < cluster.config().num_cores(); ++h) {
+    ProgramBuilder pb(h == faulty ? "oob_remote" : "idle");
+    if (h == faulty) {
+      pb.li(t0, static_cast<std::int32_t>(cluster.map().total_bytes()));
+      pb.li(t1, 4);
+      pb.vsetvli(t2, t1, Lmul::m1);
+      pb.vle32(VReg{0}, t0);
+    }
+    pb.halt();
+    programs.push_back(pb.build());
+  }
+  cluster.load_programs(std::move(programs));
+  try {
+    (void)cluster.run(100'000);
+    FAIL() << "expected a fault from hart " << faulty;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hart=" + std::to_string(faulty)),
+              std::string::npos)
+        << "fault not attributed: " << e.what();
+  }
+}
+
+TCDM_INSTANTIATE_BURST_SWEEP(VectorFaultSweep);
 
 TEST(FaultHandling, RunawayLoopIsBoundedByMaxCycles) {
   // A spin loop keeps executing instructions, so it is livelock, not
@@ -106,27 +168,6 @@ TEST(FaultHandling, RunawayLoopIsBoundedByMaxCycles) {
   const RunOutcome out = cluster.run(/*max_cycles=*/20'000);
   EXPECT_FALSE(out.all_halted);
   EXPECT_GE(out.cycles, 20'000u);
-}
-
-TEST(FaultHandling, MismatchedBarrierDeadlocks) {
-  // Hart 0 halts immediately; the others wait at a barrier that can never
-  // complete. The watchdog must call it out instead of spinning forever.
-  MAKE_CLUSTER(cluster);
-  ProgramBuilder skip("skip");
-  skip.halt();
-  ProgramBuilder wait("wait");
-  wait.barrier();
-  wait.halt();
-  std::vector<Program> programs;
-  programs.push_back(skip.build());
-  for (unsigned h = 1; h < cluster.config().num_cores(); ++h) {
-    ProgramBuilder w("wait");
-    w.barrier();
-    w.halt();
-    programs.push_back(w.build());
-  }
-  cluster.load_programs(std::move(programs));
-  EXPECT_THROW((void)cluster.run(1'000'000), DeadlockError);
 }
 
 TEST(FaultHandling, WellFormedProgramStillCompletes) {

@@ -1,0 +1,221 @@
+// tcdm_run: one CLI for every paper table, figure, ablation and study.
+// Drives the scenario registry, so reproducing any artifact no longer
+// requires knowing which binary owns it.
+//
+//   tcdm_run list [glob...]              list suites and scenarios
+//   tcdm_run run [-j N] <glob...>        run a selection; print suite tables
+//   tcdm_run emit [-j N] --out <dir> (--all | suite...)
+//                                        sweep suites, write <dir>/<suite>.json
+//
+// Globs match full scenario names (`*` crosses `/`): `table1/*`,
+// `*/mp64spatz4/*`, `ablation_burst/maxlen2`. Parallel runs (-j) produce
+// byte-identical emissions to serial ones: every scenario simulates on its
+// own cluster and results are collected in registration order.
+// Exit codes: 0 ok, 1 scenario failure or empty selection, 2 usage/IO.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analytics/report.hpp"
+#include "src/scenario/builtin.hpp"
+#include "src/scenario/emit.hpp"
+#include "src/scenario/runner.hpp"
+
+namespace tcdm::scenario {
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list [glob...]\n"
+               "       %s run [-j N] <glob...>\n"
+               "       %s emit [-j N] --out <dir> (--all | suite|glob...)\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+/// Parses `-j N` / `-jN` / `--jobs N` out of args; returns false on a
+/// malformed value.
+bool parse_jobs(std::vector<std::string>& args, unsigned& jobs) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string value;
+    if (args[i] == "-j" || args[i] == "--jobs") {
+      if (i + 1 >= args.size()) return false;
+      value = args[++i];
+    } else if (args[i].rfind("-j", 0) == 0 && args[i].size() > 2) {
+      value = args[i].substr(2);
+    } else {
+      rest.push_back(args[i]);
+      continue;
+    }
+    try {
+      jobs = static_cast<unsigned>(std::stoul(value));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  args = std::move(rest);
+  return true;
+}
+
+int cmd_list(const ScenarioRegistry& reg, const std::vector<std::string>& globs) {
+  for (const SuiteSpec& suite : reg.suites()) {
+    const auto scenarios = reg.suite_scenarios(suite.name);
+    std::vector<const ScenarioSpec*> shown;
+    for (const ScenarioSpec* s : scenarios) {
+      if (globs.empty()) {
+        shown.push_back(s);
+        continue;
+      }
+      for (const std::string& g : globs) {
+        if (glob_match(g, s->name)) {
+          shown.push_back(s);
+          break;
+        }
+      }
+    }
+    if (shown.empty()) continue;
+    std::printf("%s — %s%s\n", suite.name.c_str(), suite.description.c_str(),
+                suite.emit_by_default ? "" : "  [not in emit --all]");
+    for (const ScenarioSpec* s : shown) std::printf("  %s\n", s->name.c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const ScenarioRegistry& reg, std::vector<std::string> args) {
+  unsigned jobs = 1;
+  if (!parse_jobs(args, jobs) || args.empty()) return 2;
+
+  const std::vector<const ScenarioSpec*> selection = reg.select_all(args);
+  if (selection.empty()) {
+    std::fprintf(stderr, "no scenarios match\n");
+    return 1;
+  }
+
+  SweepOptions opts;
+  opts.jobs = jobs;
+  unsigned done = 0;
+  opts.on_done = [&](const ScenarioResult& r) {
+    ++done;
+    std::fprintf(stderr, "  [%u/%zu] %s%s\n", done, selection.size(), r.name.c_str(),
+                 r.ok() ? "" : ("  FAILED: " + r.error).c_str());
+  };
+  std::vector<ScenarioResult> results = run_scenarios(selection, opts);
+
+  bool failed = false;
+  for (const ScenarioResult& r : results) {
+    if (!r.ok()) failed = true;
+  }
+
+  // Suites whose every registered scenario ran get their paper table; a
+  // partial selection gets a compact per-scenario metrics table instead.
+  TableWriter partial({"scenario", "cycles", "BW [B/cyc/core]", "GFLOPS@ss",
+                       "FPU util", "ok"});
+  bool any_partial = false;
+  for (auto& [suite_name, set] : group_by_suite(std::move(results))) {
+    const SuiteSpec& suite = reg.suite(suite_name);
+    if (suite.print && set.size() == reg.suite_scenarios(suite_name).size()) {
+      suite.print(set);
+      continue;
+    }
+    for (const ScenarioResult& r : set.all()) {
+      partial.add_row({r.name, std::to_string(r.metrics.cycles),
+                       fmt(r.metrics.bw_per_core), fmt(r.metrics.gflops_ss),
+                       pct(r.metrics.fpu_util), r.ok() ? "OK" : "FAIL: " + r.error});
+      any_partial = true;
+    }
+  }
+  if (any_partial) partial.print(std::cout);
+  return failed ? 1 : 0;
+}
+
+int cmd_emit(const ScenarioRegistry& reg, std::vector<std::string> args) {
+  unsigned jobs = 1;
+  bool all = false;
+  std::string out_dir;
+  if (!parse_jobs(args, jobs)) return 2;
+  std::vector<std::string> wanted;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--all") {
+      all = true;
+    } else if (args[i] == "--out" || args[i] == "-o") {
+      if (i + 1 >= args.size()) return 2;
+      out_dir = args[++i];
+    } else if (args[i].rfind("--out=", 0) == 0) {
+      out_dir = args[i].substr(6);
+    } else {
+      wanted.push_back(args[i]);
+    }
+  }
+  if (out_dir.empty() || (all == !wanted.empty())) return 2;
+
+  // Resolve suite names/globs against the registry, keeping registration
+  // order and deduplicating.
+  std::vector<std::string> suites;
+  if (all) {
+    suites = default_emit_suites(reg);
+  } else {
+    std::set<std::string> seen;
+    for (const SuiteSpec& s : reg.suites()) {
+      for (const std::string& w : wanted) {
+        if ((glob_match(w, s.name)) && seen.insert(s.name).second) {
+          suites.push_back(s.name);
+          break;
+        }
+      }
+    }
+    for (const std::string& w : wanted) {
+      bool matched = false;
+      for (const SuiteSpec& s : reg.suites()) {
+        if (glob_match(w, s.name)) matched = true;
+      }
+      if (!matched) {
+        std::fprintf(stderr, "no suite matches '%s'\n", w.c_str());
+        return 1;
+      }
+    }
+  }
+  if (suites.empty()) {
+    std::fprintf(stderr, "no suites selected\n");
+    return 1;
+  }
+
+  EmitOptions opts;
+  opts.out_dir = out_dir;
+  opts.jobs = jobs;
+  opts.log = &std::cerr;
+  try {
+    (void)emit_suites(reg, suites, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emit: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int main_impl(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  register_builtin();
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (cmd == "list") return cmd_list(reg, args);
+  if (cmd == "run") {
+    const int rc = cmd_run(reg, std::move(args));
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (cmd == "emit") {
+    const int rc = cmd_emit(reg, std::move(args));
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  return usage(argv[0]);
+}
+
+}  // namespace
+}  // namespace tcdm::scenario
+
+int main(int argc, char** argv) { return tcdm::scenario::main_impl(argc, argv); }
