@@ -1,0 +1,42 @@
+# CTest script: prove that a tile-parallel `tcdm_run emit` is byte-identical
+# to the serial one. Runs the same suite twice — once with the default
+# serial stepping, once with --sim-threads 4 — and compares the emitted
+# JSON documents bit for bit.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   SUITE     suite name to emit (kept small so the smoke stays fast)
+#   OUT_DIR   scratch directory for the two emissions
+
+foreach(var TCDM_RUN SUITE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "emit_identity.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${TCDM_RUN}" emit --out "${OUT_DIR}/serial" "${SUITE}"
+  RESULT_VARIABLE rc_serial)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR "serial emit of ${SUITE} failed (exit ${rc_serial})")
+endif()
+
+execute_process(
+  COMMAND "${TCDM_RUN}" emit --sim-threads 4 --out "${OUT_DIR}/par4" "${SUITE}"
+  RESULT_VARIABLE rc_par)
+if(NOT rc_par EQUAL 0)
+  message(FATAL_ERROR "--sim-threads 4 emit of ${SUITE} failed (exit ${rc_par})")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT_DIR}/serial/${SUITE}.json" "${OUT_DIR}/par4/${SUITE}.json"
+  RESULT_VARIABLE rc_cmp)
+if(NOT rc_cmp EQUAL 0)
+  message(FATAL_ERROR
+          "tile-parallel emission of ${SUITE} differs from the serial one")
+endif()
+
+message(STATUS "${SUITE}: --sim-threads 4 emission is byte-identical")

@@ -3,8 +3,16 @@
 // the release is broadcast after a configurable latency (defaults to the
 // topology's worst-case round-trip), and the global generation counter
 // advances. Cores wait for the generation they targeted.
+//
+// arrive() may be called concurrently from the tile-parallel core phase:
+// the arrival count is atomic, and because every arrival within one
+// simulated cycle carries the same `now`, the release timestamp is
+// identical no matter which thread's arrival completes the set —
+// determinism needs no ordering here. generation() only changes in cycle(),
+// which runs in the serial phase, so cores read a stable value all phase.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 
 #include "src/common/types.hpp"
@@ -18,31 +26,33 @@ class CentralBarrier {
 
   /// A core arrives (at most once per generation; the Snitch enforces this).
   void arrive(Cycle now) {
-    assert(arrived_ < num_cores_);
-    ++arrived_;
-    if (arrived_ == num_cores_) {
+    const unsigned count = arrived_.fetch_add(1, std::memory_order_relaxed) + 1;
+    assert(count <= num_cores_);
+    if (count == num_cores_) {
       release_at_ = now + release_latency_;
       release_pending_ = true;
     }
   }
 
-  /// Advance the barrier state; call once per cluster cycle.
+  /// Advance the barrier state; call once per cluster cycle (serial phase).
   void cycle(Cycle now) {
     if (release_pending_ && now >= release_at_) {
       release_pending_ = false;
-      arrived_ = 0;
+      arrived_.store(0, std::memory_order_relaxed);
       ++generation_;
     }
   }
 
   [[nodiscard]] unsigned generation() const noexcept { return generation_; }
-  [[nodiscard]] unsigned arrived() const noexcept { return arrived_; }
+  [[nodiscard]] unsigned arrived() const noexcept {
+    return arrived_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] unsigned num_cores() const noexcept { return num_cores_; }
 
  private:
   unsigned num_cores_;
   unsigned release_latency_;
-  unsigned arrived_ = 0;
+  std::atomic<unsigned> arrived_{0};
   unsigned generation_ = 0;
   bool release_pending_ = false;
   Cycle release_at_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <thread>
 
 namespace tcdm {
 
@@ -15,14 +16,21 @@ unsigned auto_barrier_latency(const ClusterConfig& cfg, const Topology& topo) {
   }
   return worst;
 }
+
+unsigned resolve_sim_threads(const SimOptions& sim, unsigned num_tiles) {
+  unsigned t = sim.sim_threads;
+  if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(t, num_tiles);
+}
 }  // namespace
 
-Cluster::Cluster(const ClusterConfig& cfg)
+Cluster::Cluster(const ClusterConfig& cfg, const SimOptions& sim)
     : cfg_(cfg),
       topo_(cfg.topology()),
       map_(cfg.address_map()),
       barrier_(cfg.num_cores(), auto_barrier_latency(cfg, topo_)),
-      watchdog_(100'000) {
+      watchdog_(100'000),
+      sim_threads_(resolve_sim_threads(sim, cfg.num_tiles)) {
   cfg_.validate();
   NetworkConfig net_cfg = cfg_.net;
   net_cfg.grouping_factor = cfg_.burst_enabled ? cfg_.grouping_factor : 1;
@@ -31,6 +39,7 @@ Cluster::Cluster(const ClusterConfig& cfg)
   for (TileId t = 0; t < cfg_.num_tiles; ++t) {
     tiles_.push_back(std::make_unique<Tile>(cfg_, t, *net_, map_, barrier_, stats_));
   }
+  if (sim_threads_ > 1) pool_ = std::make_unique<WorkerPool>(sim_threads_);
 }
 
 void Cluster::load_program(Program program) {
@@ -94,9 +103,29 @@ void Cluster::deliver_rsp(const TcdmResp& rsp, Cycle now) {
 
 bool Cluster::step() {
   const Cycle now = clock_.now();
-  for (auto& tile : tiles_) tile->cycle_cores(now);
+
+  // Phase 1 — core/VLSU issue, per tile. A halted core complex is fully
+  // drained (the Snitch only halts after drained() && fully_idle()), so its
+  // cycle is a strict no-op and can be skipped.
+  for_each_tile([&](unsigned t) {
+    Tile& tile = *tiles_[t];
+    if (!tile.cc().halted()) tile.cycle_cores(now);
+  });
+
+  // Phase 2 — network & burst routing (serial: the egress arbiters read and
+  // re-register master-port heads across tiles in a fixed global order).
+  // cycle() first commits the core phase's staged sends in tile order.
   net_->cycle(now, *this);
-  for (auto& tile : tiles_) tile->cycle_memory(now);
+
+  // Phase 3 — bank access and response emission, per tile, with a
+  // quiescence fast-path for tiles with no in-flight memory work.
+  for_each_tile([&](unsigned t) {
+    Tile& tile = *tiles_[t];
+    if (!tile.memory_quiescent()) tile.cycle_memory(now);
+  });
+  net_->commit_deferred();
+
+  // Phase 4 — barrier release, watchdog and halt detection (serial).
   barrier_.cycle(now);
 
   double token = 0.0;

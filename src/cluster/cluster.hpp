@@ -3,11 +3,20 @@
 // the cycle loop. This is the main entry point of the library's public API:
 //
 //   ClusterConfig cfg = ClusterConfig::mp4spatz4().with_burst(4);
-//   Cluster cluster(cfg);
+//   Cluster cluster(cfg, SimOptions{.sim_threads = 4});
 //   cluster.load_program(program);           // same binary on every hart
 //   cluster.write_f32(addr, 1.5f);           // preload data (host backdoor)
 //   RunOutcome out = cluster.run();
 //   double bw = cluster.bytes_accessed() / double(out.cycles);
+//
+// Tile-parallel stepping: each simulated cycle is executed as the phase
+// sequence core/VLSU issue -> network & burst routing -> bank access &
+// response emission -> barrier/watchdog. The core and memory phases run
+// per-tile across a persistent worker pool with barriers in between; all
+// cross-tile traffic those phases produce is staged inside HierNetwork and
+// committed in fixed tile-index order at the phase boundary, so a run with
+// N sim threads is byte-identical to the serial run (same cycle counts,
+// same statistics, same memory contents).
 #pragma once
 
 #include <memory>
@@ -19,6 +28,7 @@
 #include "src/cluster/tile.hpp"
 #include "src/common/sim_time.hpp"
 #include "src/common/stats.hpp"
+#include "src/common/worker_pool.hpp"
 
 namespace tcdm {
 
@@ -27,11 +37,24 @@ struct RunOutcome {
   bool all_halted = false;
 };
 
+/// Host-side simulation options — knobs that change how fast the simulator
+/// runs, never what it computes.
+struct SimOptions {
+  /// Worker threads for tile-parallel stepping. 1 (default) steps serially
+  /// on the calling thread; 0 resolves to the hardware concurrency. The
+  /// effective count is clamped to the cluster's tile count. Any value
+  /// produces bit-identical simulations.
+  unsigned sim_threads = 1;
+};
+
 class Cluster final : public RspSink {
  public:
-  explicit Cluster(const ClusterConfig& cfg);
+  explicit Cluster(const ClusterConfig& cfg, const SimOptions& sim = {});
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  /// Worker threads the stepping engine actually uses (after resolving 0
+  /// and clamping to the tile count); 1 means serial stepping.
+  [[nodiscard]] unsigned sim_threads() const noexcept { return sim_threads_; }
   [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
   [[nodiscard]] const StatsRegistry& stats() const noexcept { return stats_; }
   [[nodiscard]] const AddressMap& map() const noexcept { return map_; }
@@ -82,6 +105,18 @@ class Cluster final : public RspSink {
   [[nodiscard]] double bytes_stored() const;
 
  private:
+  /// Run `fn(tile_index)` for every tile: on the worker pool when
+  /// sim_threads > 1, inline otherwise. `fn` must only touch the tile's own
+  /// state plus the staged-commit network/barrier entry points.
+  template <typename Fn>
+  void for_each_tile(Fn&& fn) {
+    if (pool_) {
+      pool_->parallel_for(static_cast<unsigned>(tiles_.size()), fn);
+    } else {
+      for (unsigned t = 0; t < tiles_.size(); ++t) fn(t);
+    }
+  }
+
   ClusterConfig cfg_;
   Topology topo_;
   AddressMap map_;
@@ -92,6 +127,8 @@ class Cluster final : public RspSink {
   std::vector<Program> programs_;
   SimClock clock_;
   Watchdog watchdog_;
+  unsigned sim_threads_ = 1;
+  std::unique_ptr<WorkerPool> pool_;  // only when sim_threads_ > 1
   double last_progress_token_ = -1.0;
 };
 

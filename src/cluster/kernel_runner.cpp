@@ -31,7 +31,7 @@ KernelMetrics run_kernel_on(Cluster& cluster, Kernel& kernel, const RunnerOption
 }
 
 KernelMetrics run_kernel(const ClusterConfig& cfg, Kernel& kernel, const RunnerOptions& opts) {
-  Cluster cluster(cfg);
+  Cluster cluster(cfg, opts.sim);
   return run_kernel_on(cluster, kernel, opts);
 }
 

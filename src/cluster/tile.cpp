@@ -64,8 +64,11 @@ void Tile::accept_slave_requests(Cycle now) {
 
 void Tile::route_bank_responses(Cycle now) {
   const unsigned n = static_cast<unsigned>(banks_.size());
+  // Rotating drain start, derived from the cycle number (not a call count)
+  // so quiescent cycles can be skipped without shifting the rotation.
+  const unsigned drain_rr = static_cast<unsigned>(now % n);
   for (unsigned i = 0; i < n; ++i) {
-    const unsigned b = (drain_rr_ + i) % n;
+    const unsigned b = (drain_rr + i) % n;
     SpmBank& bank = banks_[b];
     if (!bank.resp_ready()) continue;
     const BankResp& resp = bank.resp_front();
@@ -103,7 +106,6 @@ void Tile::route_bank_responses(Cycle now) {
       }
     }
   }
-  drain_rr_ = (drain_rr_ + 1) % n;
 }
 
 void Tile::emit_burst_beats(Cycle now) {
@@ -128,15 +130,15 @@ void Tile::cycle_memory(Cycle now) {
   bm_.issue(banks_);
   for (SpmBank& bank : banks_) bank.cycle();
   // Alternate response priority between narrow bank traffic and merged
-  // burst beats so neither starves the shared response ports.
-  if (bm_priority_) {
+  // burst beats so neither starves the shared response ports. Odd/even on
+  // the cycle number, so skipped quiescent cycles keep the alternation.
+  if ((now & 1) != 0) {
     emit_burst_beats(now);
     route_bank_responses(now);
   } else {
     route_bank_responses(now);
     emit_burst_beats(now);
   }
-  bm_priority_ = !bm_priority_;
 }
 
 bool Tile::memory_busy() const {
@@ -144,6 +146,15 @@ bool Tile::memory_busy() const {
     if (bank.busy()) return true;
   }
   return bm_.busy();
+}
+
+bool Tile::memory_quiescent() const {
+  if (memory_busy()) return false;
+  const unsigned num_classes = net_.topology().num_classes();
+  for (std::uint8_t cls = 0; cls < num_classes; ++cls) {
+    if (!net_.slave_empty(id_, cls)) return false;
+  }
+  return true;
 }
 
 }  // namespace tcdm

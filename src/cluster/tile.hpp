@@ -32,6 +32,12 @@ class Tile final : public TileServices {
   [[nodiscard]] const CoreComplex& cc() const noexcept { return *cc_; }
   [[nodiscard]] SpmBank& bank(unsigned b) { return banks_.at(b); }
   [[nodiscard]] bool memory_busy() const;
+  /// True when cycle_memory(now) would be a strict no-op: no queued bank or
+  /// burst-manager work and nothing waiting on this tile's slave ports. The
+  /// cluster's quiescence fast-path skips the whole memory stage then. (The
+  /// stage's round-robin cursors are derived from `now`, not from call
+  /// counts, precisely so skipped cycles leave no state behind.)
+  [[nodiscard]] bool memory_quiescent() const;
 
  private:
   void accept_slave_requests(Cycle now);
@@ -44,8 +50,6 @@ class Tile final : public TileServices {
   std::vector<SpmBank> banks_;
   BurstManager bm_;
   std::unique_ptr<CoreComplex> cc_;
-  unsigned drain_rr_ = 0;      // rotating bank-drain start
-  bool bm_priority_ = false;   // alternate bank-vs-BM response priority
 };
 
 }  // namespace tcdm

@@ -11,8 +11,10 @@ namespace tcdm {
   return v != 0 && (v & (v - 1)) == 0;
 }
 
-/// floor(log2(v)); v must be non-zero.
+/// floor(log2(v)); v must be non-zero (countl_zero(0) == 64 would wrap the
+/// subtraction to a huge shift amount downstream).
 [[nodiscard]] constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  assert(v != 0);
   return 63u - static_cast<unsigned>(std::countl_zero(v));
 }
 

@@ -1,6 +1,7 @@
 #include "src/common/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace tcdm {
@@ -53,10 +54,18 @@ std::string StatsRegistry::to_json() const {
   bool first = true;
   // Counter names are internal identifiers (no quotes/backslashes), so
   // plain quoting suffices; std::map iteration keeps the output sorted.
+  // JSON cannot represent non-finite numbers (ostream would print bare
+  // `nan`/`inf` and corrupt the document), so those serialize as null —
+  // matching tcdm::Json's convention for a poisoned metric.
   for (const auto& [name, slot] : slots_) {
     if (!first) os << ",\n";
     first = false;
-    os << "  \"" << name << "\": " << *slot;
+    os << "  \"" << name << "\": ";
+    if (std::isfinite(*slot)) {
+      os << *slot;
+    } else {
+      os << "null";
+    }
   }
   os << "\n}\n";
   return os.str();

@@ -1,0 +1,125 @@
+#include "src/common/worker_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcdm {
+
+std::atomic<unsigned> WorkerPool::live_threads_{0};
+
+WorkerPool::WorkerPool(unsigned threads)
+    : hw_threads_(std::max(1u, std::thread::hardware_concurrency())) {
+  assert(threads >= 1);
+  live_threads_.fetch_add(threads, std::memory_order_relaxed);
+  workers_.reserve(threads - 1);
+  for (unsigned w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  live_threads_.fetch_sub(threads(), std::memory_order_relaxed);
+}
+
+unsigned WorkerPool::spin_budget() const noexcept {
+  // Spin iterations before a worker parks on the condition variable. The
+  // stepping loop dispatches phases microseconds apart, so on a machine
+  // with a core free per pool thread a finishing worker almost always
+  // catches the next phase inside this budget. When the process as a whole
+  // oversubscribes the machine — this pool alone, or many pools composed
+  // (scenario sweep workers each owning a stepping pool) — spinning only
+  // steals cycles from threads that hold work, so park almost immediately.
+  // Re-evaluated at every wait: pools come and go as sweeps proceed.
+  return hw_threads_ >= live_threads_.load(std::memory_order_relaxed) ? (1u << 14)
+                                                                      : 16;
+}
+
+void WorkerPool::work(std::uint64_t epoch) {
+  (void)epoch;
+  for (;;) {
+    const unsigned i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      fn_(ctx_, i);
+    } catch (...) {
+      // Record and keep going: the epoch handshake must complete, and the
+      // lowest faulting index is what a serial loop would have hit first.
+      const std::lock_guard<std::mutex> lock(err_mutex_);
+      if (err_ == nullptr || i < err_index_) {
+        err_ = std::current_exception();
+        err_index_ = i;
+      }
+    }
+  }
+}
+
+void WorkerPool::worker_loop(unsigned worker_index) {
+  (void)worker_index;
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for the next epoch: spin first, then park.
+    std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (epoch == seen && !stop_.load(std::memory_order_acquire)) {
+      const unsigned budget = spin_budget();
+      for (unsigned spin = 0; spin < budget; ++spin) {
+        epoch = epoch_.load(std::memory_order_acquire);
+        if (epoch != seen || stop_.load(std::memory_order_acquire)) break;
+      }
+      if (epoch == seen && !stop_.load(std::memory_order_acquire)) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++sleepers_;
+        cv_.wait(lock, [&] {
+          return epoch_.load(std::memory_order_acquire) != seen ||
+                 stop_.load(std::memory_order_acquire);
+        });
+        --sleepers_;
+        epoch = epoch_.load(std::memory_order_acquire);
+      }
+    }
+    if (stop_.load(std::memory_order_acquire) && epoch == seen) return;
+    seen = epoch;
+    work(epoch);
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void WorkerPool::parallel_for_raw(unsigned n, void (*fn)(void*, unsigned), void* ctx) {
+  if (workers_.empty() || n <= 1) {
+    // Inline path: exceptions propagate directly, as in a plain loop.
+    for (unsigned i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+  fn_ = fn;
+  ctx_ = ctx;
+  n_ = n;
+  err_ = nullptr;
+  cursor_.store(0, std::memory_order_relaxed);
+  pending_.store(static_cast<unsigned>(workers_.size()), std::memory_order_relaxed);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  epoch_.store(epoch, std::memory_order_release);
+  {
+    // Wake parked workers. Taking the lock orders the epoch store before any
+    // worker's re-check inside cv_.wait, closing the missed-wakeup window.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (sleepers_ > 0) cv_.notify_all();
+  }
+  work(epoch);
+  // Wait until every worker has checked out of this epoch — only then is it
+  // safe to reuse fn_/ctx_/n_ (a late-waking worker may still be in work()).
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  if (err_ != nullptr) {
+    const std::exception_ptr e = err_;
+    err_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tcdm

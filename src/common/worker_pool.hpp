@@ -1,0 +1,100 @@
+// Persistent fork-join worker pool for the tile-parallel stepping engine.
+//
+// The cluster's cycle loop dispatches two parallel phases per simulated
+// cycle, so dispatch latency is on the hot path: workers spin briefly on an
+// atomic epoch before falling back to a condition variable, which keeps a
+// saturated stepping loop free of per-cycle futex round-trips while idle
+// pools still release their CPUs.
+//
+// parallel_for hands out item indices through a shared atomic cursor
+// (dynamic scheduling), so tiles skipped by the quiescence fast-path do not
+// unbalance the phase. The pool makes no ordering promises — work executed
+// here must only touch per-item state; cross-item effects are staged by the
+// caller and committed in a deterministic order afterwards (see
+// HierNetwork::commit_deferred).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tcdm {
+
+class WorkerPool {
+ public:
+  /// `threads` is the TOTAL worker count including the calling thread;
+  /// `threads - 1` std::threads are spawned. Must be >= 1.
+  explicit WorkerPool(unsigned threads);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Invoke `fn(ctx, i)` once for every i in [0, n), across all workers plus
+  /// the calling thread; returns when every item has finished. Not
+  /// reentrant: one parallel_for at a time.
+  ///
+  /// Exceptions: if any item throws (the simulator's fault model throws
+  /// from inside the parallel phases), the phase still runs to completion —
+  /// the epoch/join handshake must finish — and the exception of the
+  /// LOWEST-index faulting item is rethrown on the calling thread. That is
+  /// the item a serial loop would have faulted on first, so fault
+  /// attribution stays deterministic at any thread count.
+  void parallel_for_raw(unsigned n, void (*fn)(void*, unsigned), void* ctx);
+
+  /// Type-safe wrapper over parallel_for_raw for any callable `fn(unsigned)`.
+  template <typename Fn>
+  void parallel_for(unsigned n, Fn&& fn) {
+    using Decayed = std::remove_reference_t<Fn>;
+    parallel_for_raw(
+        n, [](void* ctx, unsigned i) { (*static_cast<Decayed*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+ private:
+  void worker_loop(unsigned worker_index);
+  void work(std::uint64_t epoch);
+
+  std::vector<std::thread> workers_;
+
+  // Published task for the current epoch (set before the epoch advances).
+  void (*fn_)(void*, unsigned) = nullptr;
+  void* ctx_ = nullptr;
+  unsigned n_ = 0;
+
+  [[nodiscard]] unsigned spin_budget() const noexcept;
+
+  std::atomic<std::uint64_t> epoch_{0};   // bumped once per parallel_for
+  std::atomic<unsigned> cursor_{0};       // next item index to claim
+  std::atomic<unsigned> pending_{0};      // workers yet to check out of the epoch
+  std::atomic<bool> stop_{false};
+  unsigned hw_threads_ = 1;  // hardware concurrency, cached at construction
+
+  // Threads demanded by ALL live pools in the process (workers + callers).
+  // Lets each pool notice oversubscription from composed parallelism (e.g.
+  // a scenario sweep whose workers each own a stepping pool) and park
+  // instead of spin.
+  static std::atomic<unsigned> live_threads_;
+
+  // Sleep path: workers that exhausted their spin budget wait here.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  unsigned sleepers_ = 0;
+
+  // First (lowest-index) exception thrown by an item this epoch; rethrown
+  // on the calling thread after the join. Guarded by err_mutex_ (fault
+  // path only — never touched on a clean run).
+  std::mutex err_mutex_;
+  std::exception_ptr err_;
+  unsigned err_index_ = 0;
+};
+
+}  // namespace tcdm

@@ -26,10 +26,11 @@ HierNetwork::HierNetwork(const Topology& topo, const NetworkConfig& cfg, StatsRe
   assert(cfg_.req_grouping_factor >= 1 && cfg_.req_grouping_factor <= kMaxGroupingFactor);
   req_master_free_at_.assign(ports, 0);
   rsp_master_last_push_.assign(ports, kNoCycle);
-  req_registered_.assign(ports, false);
-  rsp_registered_.assign(ports, false);
+  req_registered_.assign(ports, 0);
+  rsp_registered_.assign(ports, 0);
   rsp_egress_rr_.assign(num_tiles_, 0);
   acks_.resize(num_tiles_);
+  deferred_.resize(num_tiles_);
 
   req_sent_ = stats.counter("network.req_sent");
   req_words_ = stats.counter("network.req_words");
@@ -66,10 +67,21 @@ void HierNetwork::send_req(TileId src, TileId dst, const TcdmReq& req, Cycle now
   assert(ok);
   (void)ok;
   req_master_free_at_[p] = now + beats;
-  req_sent_.inc();
-  req_words_.inc(req.len);
-  req_hop_words_.inc(static_cast<double>(req.len) * (topo_.req_latency(cls) + 1));
-  if (!req_registered_[p]) register_req_head(src, cls);
+  // Cross-tile effects (destination wait-list, shared counters) are staged;
+  // per-source state above took effect immediately so same-cycle
+  // can_send_req checks from this tile stay exact. An unregistered port was
+  // empty before this push, so the new request is the head to register.
+  DeferredOp op;
+  op.kind = DeferredOp::Kind::kReqSend;
+  op.who = src;
+  op.words = req.len;
+  op.hop_words = static_cast<double>(req.len) * (topo_.req_latency(cls) + 1);
+  if (req_registered_[p] == 0) {
+    req_registered_[p] = 1;
+    op.register_head = true;
+    op.egress = port_index(dst, cls);
+  }
+  deferred_[src].push_back(op);
 }
 
 bool HierNetwork::can_send_rsp(TileId responder, std::uint8_t cls, Cycle now) const {
@@ -88,17 +100,29 @@ void HierNetwork::send_rsp(TileId responder, const TcdmResp& rsp, Cycle now) {
   assert(ok);
   (void)ok;
   rsp_master_last_push_[p] = now;
-  rsp_beats_.inc();
-  rsp_words_.inc(rsp.num_words);
-  rsp_hop_words_.inc(static_cast<double>(rsp.num_words) * (topo_.rsp_latency(cls) + 1));
-  if (!rsp_registered_[p]) register_rsp_head(responder, cls);
+  DeferredOp op;
+  op.kind = DeferredOp::Kind::kRspSend;
+  op.who = responder;
+  op.words = rsp.num_words;
+  op.hop_words = static_cast<double>(rsp.num_words) * (topo_.rsp_latency(cls) + 1);
+  if (rsp_registered_[p] == 0) {
+    rsp_registered_[p] = 1;
+    op.register_head = true;
+    op.egress = port_index(rsp.dst_tile, cls);
+  }
+  deferred_[responder].push_back(op);
 }
 
 void HierNetwork::send_store_ack(TileId responder, TileId requester, ReqOwner owner,
                                  Cycle now) {
   const std::uint8_t cls = topo_.class_of(responder, requester);
-  acks_[requester].push_back(AckEntry{now + topo_.rsp_latency(cls), owner});
-  rsp_hop_words_.inc(static_cast<double>(topo_.rsp_latency(cls)) + 1);
+  DeferredOp op;
+  op.kind = DeferredOp::Kind::kStoreAck;
+  op.hop_words = static_cast<double>(topo_.rsp_latency(cls)) + 1;
+  op.ack_ready_at = now + topo_.rsp_latency(cls);
+  op.ack_owner = owner;
+  op.ack_requester = requester;
+  deferred_[responder].push_back(op);
 }
 
 void HierNetwork::register_req_head(TileId src, std::uint8_t cls) {
@@ -121,7 +145,45 @@ void HierNetwork::register_rsp_head(TileId responder, std::uint8_t cls) {
   rsp_registered_[p] = true;
 }
 
+void HierNetwork::commit_deferred() {
+  for (std::vector<DeferredOp>& ops : deferred_) {
+    for (const DeferredOp& op : ops) {
+      switch (op.kind) {
+        case DeferredOp::Kind::kReqSend:
+          if (op.register_head) {
+            const bool ok = req_wait_[op.egress].try_push(op.who);
+            assert(ok);
+            (void)ok;
+          }
+          req_sent_.inc();
+          req_words_.inc(op.words);
+          req_hop_words_.inc(op.hop_words);
+          break;
+        case DeferredOp::Kind::kRspSend:
+          if (op.register_head) {
+            const bool ok = rsp_wait_[op.egress].try_push(op.who);
+            assert(ok);
+            (void)ok;
+          }
+          rsp_beats_.inc();
+          rsp_words_.inc(op.words);
+          rsp_hop_words_.inc(op.hop_words);
+          break;
+        case DeferredOp::Kind::kStoreAck:
+          acks_[op.ack_requester].push_back(AckEntry{op.ack_ready_at, op.ack_owner});
+          rsp_hop_words_.inc(op.hop_words);
+          break;
+      }
+    }
+    ops.clear();
+  }
+}
+
 void HierNetwork::cycle(Cycle now, RspSink& sink) {
+  // Make the preceding phase's staged sends visible before routing (no-op
+  // when the cluster already committed at the phase boundary).
+  commit_deferred();
+
   // Deliver due store-ack credits (out-of-band; see send_store_ack). Acks
   // are enqueued in ready order per tile, so only the head needs checking.
   for (TileId t = 0; t < num_tiles_; ++t) {
@@ -191,6 +253,9 @@ void HierNetwork::cycle(Cycle now, RspSink& sink) {
 }
 
 bool HierNetwork::busy() const {
+  for (const auto& ops : deferred_) {
+    if (!ops.empty()) return true;  // staged store-ack credits
+  }
   for (const auto& q : acks_) {
     if (!q.empty()) return true;
   }

@@ -42,6 +42,7 @@ std::vector<std::string> emit_suites(const ScenarioRegistry& reg,
 
   SweepOptions sweep;
   sweep.jobs = opts.jobs;
+  sweep.sim_threads = opts.sim_threads;
   unsigned done = 0;
   if (opts.log != nullptr) {
     sweep.on_done = [&](const ScenarioResult& r) {

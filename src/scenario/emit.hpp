@@ -27,6 +27,9 @@ namespace tcdm::scenario {
 struct EmitOptions {
   std::string out_dir;  // created if missing
   unsigned jobs = 1;    // 0 -> one worker per hardware thread
+  /// Tile-parallel stepping threads per cluster (see SweepOptions);
+  /// 0 keeps each spec's own setting. Emissions stay byte-identical.
+  unsigned sim_threads = 0;
   /// Progress notes ("ran table1/... [i/n]") go here when set.
   std::ostream* log = nullptr;
 };

@@ -51,14 +51,16 @@ const PowerBreakdown& ResultSet::power(const std::string& rel) const {
   return r == nullptr ? kEmpty : r->power;
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_override) {
   ScenarioResult r;
   r.name = spec.name;
   r.rel = spec.rel();
   try {
     const ClusterConfig cfg = spec.config();
     const std::unique_ptr<Kernel> kernel = spec.kernel();
-    Cluster cluster(cfg);
+    SimOptions sim = spec.opts.sim;
+    if (sim_threads_override > 0) sim.sim_threads = sim_threads_override;
+    Cluster cluster(cfg, sim);
     r.metrics = run_kernel_on(cluster, *kernel, spec.opts);
     r.power = estimate_power(cluster, r.metrics.cycles, cfg.freq_tt_mhz);
     if (r.metrics.timed_out) {
@@ -81,7 +83,7 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>
 
   if (jobs <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      slots[i] = run_scenario(*specs[i]);
+      slots[i] = run_scenario(*specs[i], opts.sim_threads);
       if (opts.on_done) opts.on_done(slots[i]);
     }
   } else {
@@ -91,7 +93,7 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= specs.size()) return;
-        slots[i] = run_scenario(*specs[i]);
+        slots[i] = run_scenario(*specs[i], opts.sim_threads);
         if (opts.on_done) {
           const std::lock_guard<std::mutex> lock(done_mutex);
           opts.on_done(slots[i]);

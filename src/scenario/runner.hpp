@@ -16,6 +16,12 @@ namespace tcdm::scenario {
 struct SweepOptions {
   /// Worker threads; 0 means one per hardware thread, 1 runs inline.
   unsigned jobs = 1;
+  /// Tile-parallel stepping threads inside each scenario's cluster
+  /// (tcdm_run --sim-threads). 0 keeps each spec's RunnerOptions value; any
+  /// other value overrides it for every scenario of the sweep. Simulation
+  /// results are bit-identical at any setting, so this composes freely with
+  /// `jobs` — it trades scenario-level for intra-scenario parallelism.
+  unsigned sim_threads = 0;
   /// Progress callback, invoked as each scenario finishes (serialized; may
   /// be called from worker threads but never concurrently).
   std::function<void(const ScenarioResult&)> on_done;
@@ -23,7 +29,9 @@ struct SweepOptions {
 
 /// Run one scenario on a fresh cluster. Never throws: failures (exceptions,
 /// timeouts, failed expected verification) land in ScenarioResult::error.
-[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+/// `sim_threads_override` > 0 replaces the spec's RunnerOptions sim_threads.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          unsigned sim_threads_override = 0);
 
 /// Run every scenario in `specs` and collect results in the same order.
 /// The selection may span suites; group with group_by_suite for per-suite

@@ -12,6 +12,11 @@
 // Stores are posted: they are issued narrow (the paper bursts only loads),
 // counted in `outstanding_stores` and acknowledged out of the response
 // network; barriers wait for the counter to drain.
+//
+// issue()/dispatch run inside the tile-parallel core phase: everything here
+// is per-core state, and the network hand-off (via TileServices) only
+// mutates per-source ports immediately — cross-tile effects are staged by
+// HierNetwork and committed at the phase boundary (see network.hpp).
 #pragma once
 
 #include <array>

@@ -2,6 +2,7 @@
 // watchdog, bit utilities.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -9,10 +10,12 @@
 #include "src/common/arbiter.hpp"
 #include "src/common/bitutil.hpp"
 #include "src/common/bounded_queue.hpp"
+#include "src/common/json.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/sim_time.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/timed_queue.hpp"
+#include "src/common/worker_pool.hpp"
 #include "tests/support/test_support.hpp"
 
 namespace tcdm {
@@ -190,6 +193,49 @@ TEST(BitUtil, Pow2AndLogs) {
   EXPECT_EQ(align_down(7, 4), 4u);
 }
 
+TEST(BitUtil, Log2FloorCoversTheWholeValidDomain) {
+  // v == 0 is outside the contract (countl_zero(0) == 64 would wrap); it is
+  // now guarded by an assert like log2_exact. Every non-zero value is fine,
+  // including the extremes.
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(std::uint64_t{1} << 63), 63u);
+  EXPECT_EQ(log2_floor(~std::uint64_t{0}), 63u);
+}
+
+#ifndef NDEBUG
+TEST(BitUtilDeathTest, Log2FloorOfZeroAsserts) {
+  EXPECT_DEATH((void)log2_floor(0), "v != 0");
+}
+#endif
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<unsigned>> hits(137);
+  pool.parallel_for(137, [&](unsigned i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(WorkerPool, BackToBackPhasesSeePriorWrites) {
+  // The pool is a fork-join barrier: writes from one parallel_for must be
+  // visible to the next (this is what the phase-commit protocol relies on).
+  WorkerPool pool(3);
+  std::vector<unsigned> data(64, 0);
+  for (unsigned round = 1; round <= 50; ++round) {
+    pool.parallel_for(64, [&](unsigned i) { data[i] += 1; });
+  }
+  for (unsigned v : data) EXPECT_EQ(v, 50u);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  unsigned sum = 0;  // no synchronization: everything runs on this thread
+  pool.parallel_for(100, [&](unsigned i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
 TEST(BitUtil, BitReverseInvolution) {
   for (unsigned bits = 1; bits <= 12; ++bits) {
     for (std::uint32_t v = 0; v < (1u << bits); v += 7) {
@@ -227,6 +273,28 @@ TEST(Stats, ToJsonOfEmptyRegistryIsAnEmptyObject) {
   EXPECT_EQ(json.find('"'), std::string::npos);
   EXPECT_NE(json.find('{'), std::string::npos);
   EXPECT_NE(json.find('}'), std::string::npos);
+}
+
+TEST(Stats, ToJsonMapsNonFiniteCountersToNull) {
+  // JSON has no NaN/Infinity literals; a poisoned counter must serialize as
+  // null (same convention as tcdm::Json) instead of corrupting the dump
+  // with bare `nan`/`inf` tokens.
+  StatsRegistry reg;
+  reg.counter("a.nan").inc(std::numeric_limits<double>::quiet_NaN());
+  reg.counter("b.posinf").inc(std::numeric_limits<double>::infinity());
+  reg.counter("c.neginf").inc(-std::numeric_limits<double>::infinity());
+  reg.counter("d.fine").inc(2.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"a.nan\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.posinf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c.neginf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"d.fine\": 2"), std::string::npos) << json;
+  // The dump must round-trip through the strict JSON parser (which rejects
+  // the bare `nan`/`inf` tokens the old formatter emitted).
+  const Json parsed = Json::parse(json);
+  EXPECT_TRUE(parsed.at("a.nan").is_null());
+  EXPECT_TRUE(parsed.at("b.posinf").is_null());
+  EXPECT_DOUBLE_EQ(parsed.at("d.fine").as_double(), 2.0);
 }
 
 }  // namespace

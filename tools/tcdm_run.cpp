@@ -3,20 +3,27 @@
 // requires knowing which binary owns it.
 //
 //   tcdm_run list [glob...]              list suites and scenarios
-//   tcdm_run run [-j N] <glob...>        run a selection; print suite tables
-//   tcdm_run emit [-j N] --out <dir> (--all | suite...)
+//   tcdm_run run [-j N] [--sim-threads N] <glob...>
+//                                        run a selection; print suite tables
+//   tcdm_run emit [-j N] [--sim-threads N] --out <dir> (--all | suite...)
 //                                        sweep suites, write <dir>/<suite>.json
 //
 // Globs match full scenario names (`*` crosses `/`): `table1/*`,
 // `*/mp64spatz4/*`, `ablation_burst/maxlen2`. Parallel runs (-j) produce
 // byte-identical emissions to serial ones: every scenario simulates on its
-// own cluster and results are collected in registration order.
+// own cluster and results are collected in registration order. --sim-threads
+// additionally parallelizes each cluster's cycle loop across its tiles
+// (deterministic tile-parallel stepping, bit-identical at any count; 0 =
+// hardware concurrency) — the right knob when one big-cluster scenario,
+// not the sweep width, dominates wall-clock.
 // Exit codes: 0 ok, 1 scenario failure or empty selection, 2 usage/IO.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analytics/report.hpp"
@@ -30,31 +37,44 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list [glob...]\n"
-               "       %s run [-j N] <glob...>\n"
-               "       %s emit [-j N] --out <dir> (--all | suite|glob...)\n",
+               "       %s run [-j N] [--sim-threads N] <glob...>\n"
+               "       %s emit [-j N] [--sim-threads N] --out <dir> (--all | suite|glob...)\n",
                argv0, argv0, argv0);
   return 2;
 }
 
-/// Parses `-j N` / `-jN` / `--jobs N` out of args; returns false on a
-/// malformed value.
-bool parse_jobs(std::vector<std::string>& args, unsigned& jobs) {
+/// Parses `-j N` / `-jN` / `--jobs N` and `--sim-threads N` /
+/// `--sim-threads=N` out of args; returns false on a malformed value.
+bool parse_jobs(std::vector<std::string>& args, unsigned& jobs, unsigned& sim_threads) {
   std::vector<std::string> rest;
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
+    unsigned* out = &jobs;
     if (args[i] == "-j" || args[i] == "--jobs") {
       if (i + 1 >= args.size()) return false;
       value = args[++i];
     } else if (args[i].rfind("-j", 0) == 0 && args[i].size() > 2) {
       value = args[i].substr(2);
+    } else if (args[i] == "--sim-threads") {
+      if (i + 1 >= args.size()) return false;
+      value = args[++i];
+      out = &sim_threads;
+    } else if (args[i].rfind("--sim-threads=", 0) == 0) {
+      value = args[i].substr(14);
+      out = &sim_threads;
     } else {
       rest.push_back(args[i]);
       continue;
     }
     try {
-      jobs = static_cast<unsigned>(std::stoul(value));
+      *out = static_cast<unsigned>(std::stoul(value));
     } catch (const std::exception&) {
       return false;
+    }
+    // SweepOptions uses 0 for "keep each spec's setting", so an explicit
+    // `--sim-threads 0` resolves to the hardware concurrency here.
+    if (out == &sim_threads && sim_threads == 0) {
+      sim_threads = std::max(1u, std::thread::hardware_concurrency());
     }
   }
   args = std::move(rest);
@@ -87,7 +107,8 @@ int cmd_list(const ScenarioRegistry& reg, const std::vector<std::string>& globs)
 
 int cmd_run(const ScenarioRegistry& reg, std::vector<std::string> args) {
   unsigned jobs = 1;
-  if (!parse_jobs(args, jobs) || args.empty()) return 2;
+  unsigned sim_threads = 0;
+  if (!parse_jobs(args, jobs, sim_threads) || args.empty()) return 2;
 
   const std::vector<const ScenarioSpec*> selection = reg.select_all(args);
   if (selection.empty()) {
@@ -97,6 +118,7 @@ int cmd_run(const ScenarioRegistry& reg, std::vector<std::string> args) {
 
   SweepOptions opts;
   opts.jobs = jobs;
+  opts.sim_threads = sim_threads;
   unsigned done = 0;
   opts.on_done = [&](const ScenarioResult& r) {
     ++done;
@@ -134,9 +156,10 @@ int cmd_run(const ScenarioRegistry& reg, std::vector<std::string> args) {
 
 int cmd_emit(const ScenarioRegistry& reg, std::vector<std::string> args) {
   unsigned jobs = 1;
+  unsigned sim_threads = 0;
   bool all = false;
   std::string out_dir;
-  if (!parse_jobs(args, jobs)) return 2;
+  if (!parse_jobs(args, jobs, sim_threads)) return 2;
   std::vector<std::string> wanted;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--all") {
@@ -186,6 +209,7 @@ int cmd_emit(const ScenarioRegistry& reg, std::vector<std::string> args) {
   EmitOptions opts;
   opts.out_dir = out_dir;
   opts.jobs = jobs;
+  opts.sim_threads = sim_threads;
   opts.log = &std::cerr;
   try {
     (void)emit_suites(reg, suites, opts);
