@@ -1,0 +1,43 @@
+# CTest script: a builtin suite re-expressed as a tcdm-scenarios file must
+# emit a byte-identical metrics document. Emits the builtin registration,
+# then the file loaded into an empty registry (--no-builtin, so the file may
+# reuse the builtin's suite name), and compares the two documents.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   SUITE     the builtin suite name (also the file's suite name)
+#   FILE      the re-expression of the suite as a scenario file
+#   OUT_DIR   scratch directory
+
+foreach(var TCDM_RUN SUITE FILE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "clone_identity.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${TCDM_RUN}" emit --out "${OUT_DIR}/builtin" "${SUITE}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "builtin emit of ${SUITE} failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${TCDM_RUN}" emit --no-builtin --file "${FILE}" --out "${OUT_DIR}/file"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "file emit of ${FILE} failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT_DIR}/builtin/${SUITE}.json" "${OUT_DIR}/file/${SUITE}.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${FILE} does not emit byte-identical metrics to the builtin ${SUITE}")
+endif()
+
+message(STATUS "${SUITE}: scenario-file re-expression emits byte-identical metrics")

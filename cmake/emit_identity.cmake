@@ -1,42 +1,57 @@
-# CTest script: prove that a tile-parallel `tcdm_run emit` is byte-identical
-# to the serial one. Runs the same suite twice — once with the default
-# serial stepping, once with --sim-threads 4 — and compares the emitted
-# JSON documents bit for bit.
+# CTest script: prove that a parallel `tcdm_run emit` is byte-identical to
+# the serial one. Runs the same suite twice — once with the default serial
+# sweep and stepping, once with the PAR_ARGS parallelism flags — and
+# compares the emitted JSON documents bit for bit.
 #
 # Variables (passed with -D):
 #   TCDM_RUN  path to the tcdm_run binary
-#   SUITE     suite name to emit (kept small so the smoke stays fast)
+#   SUITE     suite name (the emitted file is <suite>.json)
 #   OUT_DIR   scratch directory for the two emissions
+#   FILE      optional: a tcdm-scenarios suite file; the suite is then
+#             loaded with `--no-builtin --file` instead of from the builtins
+#   PAR_ARGS  optional: parallelism flags for the second emit
+#             (default "--sim-threads 4")
 
 foreach(var TCDM_RUN SUITE OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "emit_identity.cmake: missing -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED PAR_ARGS)
+  set(PAR_ARGS "--sim-threads 4")
+endif()
+separate_arguments(par_flags UNIX_COMMAND "${PAR_ARGS}")
+
+set(base_args emit)
+set(select_args "${SUITE}")
+if(DEFINED FILE)
+  list(APPEND base_args --no-builtin --file "${FILE}")
+  set(select_args "")  # with --file and no selection, the file suite is emitted
+endif()
 
 file(REMOVE_RECURSE "${OUT_DIR}")
 
 execute_process(
-  COMMAND "${TCDM_RUN}" emit --out "${OUT_DIR}/serial" "${SUITE}"
+  COMMAND "${TCDM_RUN}" ${base_args} --out "${OUT_DIR}/serial" ${select_args}
   RESULT_VARIABLE rc_serial)
 if(NOT rc_serial EQUAL 0)
   message(FATAL_ERROR "serial emit of ${SUITE} failed (exit ${rc_serial})")
 endif()
 
 execute_process(
-  COMMAND "${TCDM_RUN}" emit --sim-threads 4 --out "${OUT_DIR}/par4" "${SUITE}"
+  COMMAND "${TCDM_RUN}" ${base_args} ${par_flags} --out "${OUT_DIR}/par" ${select_args}
   RESULT_VARIABLE rc_par)
 if(NOT rc_par EQUAL 0)
-  message(FATAL_ERROR "--sim-threads 4 emit of ${SUITE} failed (exit ${rc_par})")
+  message(FATAL_ERROR "parallel (${PAR_ARGS}) emit of ${SUITE} failed (exit ${rc_par})")
 endif()
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E compare_files
-          "${OUT_DIR}/serial/${SUITE}.json" "${OUT_DIR}/par4/${SUITE}.json"
+          "${OUT_DIR}/serial/${SUITE}.json" "${OUT_DIR}/par/${SUITE}.json"
   RESULT_VARIABLE rc_cmp)
 if(NOT rc_cmp EQUAL 0)
   message(FATAL_ERROR
-          "tile-parallel emission of ${SUITE} differs from the serial one")
+          "parallel (${PAR_ARGS}) emission of ${SUITE} differs from the serial one")
 endif()
 
-message(STATUS "${SUITE}: --sim-threads 4 emission is byte-identical")
+message(STATUS "${SUITE}: ${PAR_ARGS} emission is byte-identical")

@@ -1,0 +1,26 @@
+# CTest script: run tcdm_run with the given arguments and require an exact
+# exit code — CTest alone can only distinguish zero from non-zero, but the
+# CLI contract (0 ok, 1 scenario/validation failure, 2 usage/IO) is part of
+# what CI consumes.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   ARGS      space-separated argument string (may be empty)
+#   EXPECTED  required exit code
+
+foreach(var TCDM_RUN EXPECTED)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "expect_exit.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${TCDM_RUN}" ${arg_list}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL ${EXPECTED})
+  message(FATAL_ERROR
+          "tcdm_run ${ARGS}: expected exit code ${EXPECTED}, got ${rc}")
+endif()
+message(STATUS "tcdm_run ${ARGS}: exit code ${rc} as expected")

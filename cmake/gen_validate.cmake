@@ -1,0 +1,66 @@
+# CTest script for the randomized-suite generator contract:
+#   1. the same seed reproduces the same file, byte for byte;
+#   2. a different seed produces a different file;
+#   3. `tcdm_run gen | tcdm_run validate` passes (stdout -> stdin pipeline);
+#   4. a written generated file validates too.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   OUT_DIR   scratch directory
+
+foreach(var TCDM_RUN OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "gen_validate.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(name a b)
+  execute_process(
+    COMMAND "${TCDM_RUN}" gen --seed 1 --count 20 --out "${OUT_DIR}/seed1-${name}.json"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gen --seed 1 failed (exit ${rc})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT_DIR}/seed1-a.json" "${OUT_DIR}/seed1-b.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen --seed 1 is not reproducible byte for byte")
+endif()
+
+execute_process(
+  COMMAND "${TCDM_RUN}" gen --seed 2 --count 20 --out "${OUT_DIR}/seed2.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen --seed 2 failed (exit ${rc})")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT_DIR}/seed1-a.json" "${OUT_DIR}/seed2.json"
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "gen --seed 2 produced the same file as --seed 1")
+endif()
+
+# execute_process chains COMMANDs stdout -> stdin, i.e. `gen | validate`.
+execute_process(
+  COMMAND "${TCDM_RUN}" gen --seed 1 --count 20
+  COMMAND "${TCDM_RUN}" validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen --seed 1 --count 20 | validate failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${TCDM_RUN}" validate "${OUT_DIR}/seed1-a.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "validate of a written generated file failed (exit ${rc})")
+endif()
+
+message(STATUS "gen/validate: reproducible, seed-sensitive, pipeline-clean")

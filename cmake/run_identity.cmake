@@ -1,0 +1,47 @@
+# CTest script: `tcdm_run run --file` must print byte-identical stdout
+# (the per-scenario metrics table) for a serial and a parallel sweep —
+# results are collected in registration order regardless of worker count.
+# Progress notes go to stderr and are excluded deliberately: their
+# interleaving follows completion order, which parallelism may change.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   FILE      tcdm-scenarios suite file to run
+#   OUT_DIR   scratch directory for the captured stdout
+
+foreach(var TCDM_RUN FILE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_identity.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${TCDM_RUN}" run --no-builtin --file "${FILE}"
+  OUTPUT_FILE "${OUT_DIR}/serial.txt"
+  ERROR_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial run of ${FILE} failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${TCDM_RUN}" run --no-builtin --file "${FILE}" -j 4
+  OUTPUT_FILE "${OUT_DIR}/par4.txt"
+  ERROR_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "-j 4 run of ${FILE} failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT_DIR}/serial.txt" "${OUT_DIR}/par4.txt"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "-j 4 run of ${FILE} prints different stdout than serial")
+endif()
+
+message(STATUS "run --file: -j 4 stdout is byte-identical to serial")

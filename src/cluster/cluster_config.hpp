@@ -9,6 +9,7 @@
 
 #include "src/burst/burst_manager.hpp"
 #include "src/burst/burst_sender.hpp"
+#include "src/common/json.hpp"
 #include "src/interconnect/network.hpp"
 #include "src/interconnect/topology.hpp"
 #include "src/memory/address_map.hpp"
@@ -88,6 +89,21 @@ struct ClusterConfig {
 
   /// Throws std::invalid_argument when parameters are inconsistent.
   void validate() const;
+
+  /// Full serialization: every architectural field, nested sub-configs
+  /// (snitch/net/bm) as objects, level latencies as {request, response}
+  /// pairs. from_json(to_json()) is the identity for any valid config.
+  [[nodiscard]] Json to_json() const;
+
+  /// Strict deserialization. The object may either spell out fields over
+  /// the defaults, or start from `"preset": "<name>"` and override. The
+  /// sugar block `"burst": {"gf": G, ...}` applies the same transforms as
+  /// with_burst / with_strided_bursts / with_store_bursts (G == 0 leaves
+  /// the baseline untouched) and is mutually exclusive with the resolved
+  /// burst fields. Unknown keys, wrong types and inconsistent values all
+  /// throw std::invalid_argument naming the offending `/`-joined path
+  /// (rooted at `path`). The returned config has been validate()d.
+  static ClusterConfig from_json(const Json& j, const std::string& path = "config");
 
   // ---- paper presets (baseline, no burst) ----
   static ClusterConfig mp4spatz4();    // 16-FPU cluster

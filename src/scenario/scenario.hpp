@@ -85,6 +85,36 @@ struct ScenarioSpec {
   }
 };
 
+/// Declarative kernel description: a kind tag plus its (already
+/// type-checked) parameters — the data-driven counterpart of the builtin
+/// suites' kernel factory lambdas. `instantiate` builds the kernel for a
+/// concrete cluster configuration, which supplies config-dependent defaults
+/// (auto-scaled probe iterations, synthetic trace generation).
+struct KernelSpec {
+  std::string kind;
+  Json::Object params;
+
+  /// Flat object: {"kind": "...", <param>: <value>, ...}.
+  [[nodiscard]] Json to_json() const;
+  /// Strict: requires a known "kind" and rejects parameters the kind does
+  /// not take, naming the offending `/`-joined path (rooted at `path`).
+  static KernelSpec from_json(const Json& j, const std::string& path = "kernel");
+
+  /// Build the kernel; throws std::invalid_argument (path-prefixed) on
+  /// missing or out-of-range parameters.
+  [[nodiscard]] std::unique_ptr<Kernel> instantiate(
+      const ClusterConfig& cfg, const std::string& path = "kernel") const;
+
+  /// Every supported kind, for error messages and documentation.
+  [[nodiscard]] static const std::vector<std::string>& kinds();
+};
+
+/// RunnerOptions <-> JSON: verify, max_cycles, watchdog_window, sim_threads.
+/// Strict on unknown keys, same error convention as the config parsers.
+[[nodiscard]] Json runner_options_to_json(const RunnerOptions& o);
+[[nodiscard]] RunnerOptions runner_options_from_json(
+    const Json& j, const std::string& path = "options");
+
 /// A paper artifact (table, figure, ablation, study): naming, the metrics
 /// document header, model-only metrics that do not come from a run, and the
 /// console table renderer.

@@ -1,0 +1,26 @@
+// Randomized scenario-suite generator (the `tcdm_run gen` backend): emits
+// a tcdm-scenarios document of randomized-but-legal configurations for
+// fuzz-style sweeps. Every generated config honours the simulator's
+// invariants by construction — power-of-two tile/bank counts, level sizes
+// that multiply to the tile count, burst lengths within the per-tile bank
+// fan-out, legal GF/ROB combinations — and the generator re-parses its own
+// output through the scenario-file loader before returning, so
+// `gen | validate` can never disagree. The same seed always produces the
+// same document, byte for byte.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/json.hpp"
+
+namespace tcdm::scenario {
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  unsigned count = 10;
+};
+
+/// Generate a suite named "gen_seed<seed>" with `count` scenarios.
+[[nodiscard]] Json generate_suite(const GenOptions& opts);
+
+}  // namespace tcdm::scenario

@@ -1,25 +1,33 @@
-// tcdm_run: one CLI for every paper table, figure, ablation and study.
-// Drives the scenario registry, so reproducing any artifact no longer
-// requires knowing which binary owns it.
+// tcdm_run: one CLI for every paper table, figure, ablation and study —
+// builtin or data-driven. Drives the scenario registry, so reproducing any
+// artifact (or exploring a brand-new one from a JSON suite file) never
+// requires a new binary.
 //
-//   tcdm_run list [glob...]              list suites and scenarios
-//   tcdm_run run [-j N] [--sim-threads N] <glob...>
-//                                        run a selection; print suite tables
-//   tcdm_run emit [-j N] [--sim-threads N] --out <dir> (--all | suite...)
-//                                        sweep suites, write <dir>/<suite>.json
+//   tcdm_run list [--file F]... [glob...]      list suites and scenarios
+//   tcdm_run run [-j N] [--sim-threads N] [--file F]... [--no-builtin]
+//                [glob...]                     run a selection; print tables
+//   tcdm_run emit [-j N] [--sim-threads N] [--file F]... [--no-builtin]
+//                 --out <dir> (--all | suite|glob...)
+//                                              sweep suites, write <dir>/<suite>.json
+//   tcdm_run validate [file...|-]              load + expand + validate suite
+//                                              files (default: stdin)
+//   tcdm_run gen --seed N --count K [--out F]  emit a randomized, invariant-
+//                                              checked suite file (stdout)
 //
-// Globs match full scenario names (`*` crosses `/`): `table1/*`,
-// `*/mp64spatz4/*`, `ablation_burst/maxlen2`. Parallel runs (-j) produce
-// byte-identical emissions to serial ones: every scenario simulates on its
-// own cluster and results are collected in registration order. --sim-threads
-// additionally parallelizes each cluster's cycle loop across its tiles
-// (deterministic tile-parallel stepping, bit-identical at any count; 0 =
-// hardware concurrency) — the right knob when one big-cluster scenario,
-// not the sweep width, dominates wall-clock.
-// Exit codes: 0 ok, 1 scenario failure or empty selection, 2 usage/IO.
+// `--file` registers a tcdm-scenarios JSON suite (repeatable) next to the
+// builtins; `--no-builtin` starts from an empty registry instead, which
+// lets a file re-express a builtin suite under its own name. With `--file`
+// and no globs/suites, the file's suites are selected. Globs match full
+// scenario names (`*` crosses `/`). Parallel runs (-j) produce
+// byte-identical emissions and stdout tables to serial ones; --sim-threads
+// additionally parallelizes each cluster's cycle loop (bit-identical at
+// any count; 0 = hardware concurrency).
+// Exit codes: 0 ok, 1 scenario/validation failure or empty selection,
+// 2 usage/IO errors (including unknown subcommands).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <string>
@@ -30,38 +38,65 @@
 #include "src/scenario/builtin.hpp"
 #include "src/scenario/emit.hpp"
 #include "src/scenario/runner.hpp"
+#include "src/scenario/scenario_file.hpp"
+#include "src/scenario/scenario_gen.hpp"
 
 namespace tcdm::scenario {
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s list [glob...]\n"
-               "       %s run [-j N] [--sim-threads N] <glob...>\n"
-               "       %s emit [-j N] [--sim-threads N] --out <dir> (--all | suite|glob...)\n",
-               argv0, argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s list [--file F]... [glob...]\n"
+      "       %s run [-j N] [--sim-threads N] [--file F]... [--no-builtin] [glob...]\n"
+      "       %s emit [-j N] [--sim-threads N] [--file F]... [--no-builtin]\n"
+      "            --out <dir> (--all | suite|glob...)\n"
+      "       %s validate [file...|-]\n"
+      "       %s gen [--seed N] [--count K] [--out <file>]\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
-/// Parses `-j N` / `-jN` / `--jobs N` and `--sim-threads N` /
-/// `--sim-threads=N` out of args; returns false on a malformed value.
-bool parse_jobs(std::vector<std::string>& args, unsigned& jobs, unsigned& sim_threads) {
+/// Flags shared by list/run/emit: sweep and stepping parallelism, plus the
+/// data-driven registry sources.
+struct CommonOptions {
+  unsigned jobs = 1;
+  unsigned sim_threads = 0;
+  std::vector<std::string> files;
+  bool no_builtin = false;
+};
+
+/// Parses the common flags out of `args`; returns false on a malformed or
+/// valueless flag (caller prints usage).
+bool parse_common(std::vector<std::string>& args, CommonOptions& opts) {
   std::vector<std::string> rest;
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
-    unsigned* out = &jobs;
+    unsigned* out = nullptr;
     if (args[i] == "-j" || args[i] == "--jobs") {
       if (i + 1 >= args.size()) return false;
       value = args[++i];
+      out = &opts.jobs;
     } else if (args[i].rfind("-j", 0) == 0 && args[i].size() > 2) {
       value = args[i].substr(2);
+      out = &opts.jobs;
     } else if (args[i] == "--sim-threads") {
       if (i + 1 >= args.size()) return false;
       value = args[++i];
-      out = &sim_threads;
+      out = &opts.sim_threads;
     } else if (args[i].rfind("--sim-threads=", 0) == 0) {
       value = args[i].substr(14);
-      out = &sim_threads;
+      out = &opts.sim_threads;
+    } else if (args[i] == "--file") {
+      if (i + 1 >= args.size()) return false;
+      opts.files.push_back(args[++i]);
+      continue;
+    } else if (args[i].rfind("--file=", 0) == 0) {
+      opts.files.push_back(args[i].substr(7));
+      continue;
+    } else if (args[i] == "--no-builtin") {
+      opts.no_builtin = true;
+      continue;
     } else {
       rest.push_back(args[i]);
       continue;
@@ -73,24 +108,63 @@ bool parse_jobs(std::vector<std::string>& args, unsigned& jobs, unsigned& sim_th
     }
     // SweepOptions uses 0 for "keep each spec's setting", so an explicit
     // `--sim-threads 0` resolves to the hardware concurrency here.
-    if (out == &sim_threads && sim_threads == 0) {
-      sim_threads = std::max(1u, std::thread::hardware_concurrency());
+    if (out == &opts.sim_threads && opts.sim_threads == 0) {
+      opts.sim_threads = std::max(1u, std::thread::hardware_concurrency());
     }
   }
   args = std::move(rest);
   return true;
 }
 
-int cmd_list(const ScenarioRegistry& reg, const std::vector<std::string>& globs) {
+/// Populate the process registry from the builtins (unless --no-builtin)
+/// and every --file suite. Returns false after printing the error (a bad
+/// scenario file is an IO/usage problem, exit 2). Registered file-suite
+/// names land in `file_suites`.
+bool setup_registry(const CommonOptions& opts, std::vector<std::string>& file_suites) {
+  if (!opts.no_builtin) {
+    register_builtin();
+  } else if (opts.files.empty()) {
+    std::fprintf(stderr, "--no-builtin requires at least one --file\n");
+    return false;
+  }
+  for (const std::string& path : opts.files) {
+    try {
+      file_suites.push_back(register_suite_file(ScenarioRegistry::instance(), path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// All scenarios of the named suites, in registration order.
+std::vector<const ScenarioSpec*> suites_selection(
+    const ScenarioRegistry& reg, const std::vector<std::string>& suites) {
+  std::vector<const ScenarioSpec*> out;
+  for (const std::string& suite : suites) {
+    const auto scenarios = reg.suite_scenarios(suite);
+    out.insert(out.end(), scenarios.begin(), scenarios.end());
+  }
+  return out;
+}
+
+int cmd_list(const char* argv0, std::vector<std::string> args) {
+  CommonOptions opts;
+  if (!parse_common(args, opts)) return usage(argv0);
+  std::vector<std::string> file_suites;
+  if (!setup_registry(opts, file_suites)) return 2;
+
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
   for (const SuiteSpec& suite : reg.suites()) {
     const auto scenarios = reg.suite_scenarios(suite.name);
     std::vector<const ScenarioSpec*> shown;
     for (const ScenarioSpec* s : scenarios) {
-      if (globs.empty()) {
+      if (args.empty()) {
         shown.push_back(s);
         continue;
       }
-      for (const std::string& g : globs) {
+      for (const std::string& g : args) {
         if (glob_match(g, s->name)) {
           shown.push_back(s);
           break;
@@ -105,20 +179,25 @@ int cmd_list(const ScenarioRegistry& reg, const std::vector<std::string>& globs)
   return 0;
 }
 
-int cmd_run(const ScenarioRegistry& reg, std::vector<std::string> args) {
-  unsigned jobs = 1;
-  unsigned sim_threads = 0;
-  if (!parse_jobs(args, jobs, sim_threads) || args.empty()) return 2;
+int cmd_run(const char* argv0, std::vector<std::string> args) {
+  CommonOptions copts;
+  if (!parse_common(args, copts)) return usage(argv0);
+  std::vector<std::string> file_suites;
+  if (!setup_registry(copts, file_suites)) return 2;
+  if (args.empty() && file_suites.empty()) return usage(argv0);
 
-  const std::vector<const ScenarioSpec*> selection = reg.select_all(args);
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
+  // With --file and no globs, the file's suites are the selection.
+  const std::vector<const ScenarioSpec*> selection =
+      args.empty() ? suites_selection(reg, file_suites) : reg.select_all(args);
   if (selection.empty()) {
     std::fprintf(stderr, "no scenarios match\n");
     return 1;
   }
 
   SweepOptions opts;
-  opts.jobs = jobs;
-  opts.sim_threads = sim_threads;
+  opts.jobs = copts.jobs;
+  opts.sim_threads = copts.sim_threads;
   unsigned done = 0;
   opts.on_done = [&](const ScenarioResult& r) {
     ++done;
@@ -133,7 +212,8 @@ int cmd_run(const ScenarioRegistry& reg, std::vector<std::string> args) {
   }
 
   // Suites whose every registered scenario ran get their paper table; a
-  // partial selection gets a compact per-scenario metrics table instead.
+  // partial selection (and every file suite, which has no custom printer)
+  // gets a compact per-scenario metrics table instead.
   TableWriter partial({"scenario", "cycles", "BW [B/cyc/core]", "GFLOPS@ss",
                        "FPU util", "ok"});
   bool any_partial = false;
@@ -154,18 +234,17 @@ int cmd_run(const ScenarioRegistry& reg, std::vector<std::string> args) {
   return failed ? 1 : 0;
 }
 
-int cmd_emit(const ScenarioRegistry& reg, std::vector<std::string> args) {
-  unsigned jobs = 1;
-  unsigned sim_threads = 0;
+int cmd_emit(const char* argv0, std::vector<std::string> args) {
+  CommonOptions copts;
   bool all = false;
   std::string out_dir;
-  if (!parse_jobs(args, jobs, sim_threads)) return 2;
+  if (!parse_common(args, copts)) return usage(argv0);
   std::vector<std::string> wanted;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--all") {
       all = true;
     } else if (args[i] == "--out" || args[i] == "-o") {
-      if (i + 1 >= args.size()) return 2;
+      if (i + 1 >= args.size()) return usage(argv0);
       out_dir = args[++i];
     } else if (args[i].rfind("--out=", 0) == 0) {
       out_dir = args[i].substr(6);
@@ -173,13 +252,20 @@ int cmd_emit(const ScenarioRegistry& reg, std::vector<std::string> args) {
       wanted.push_back(args[i]);
     }
   }
-  if (out_dir.empty() || (all == !wanted.empty())) return 2;
+  if (out_dir.empty() || (all && !wanted.empty())) return usage(argv0);
+  std::vector<std::string> file_suites;
+  if (!setup_registry(copts, file_suites)) return 2;
+  if (!all && wanted.empty() && file_suites.empty()) return usage(argv0);
 
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
   // Resolve suite names/globs against the registry, keeping registration
-  // order and deduplicating.
+  // order and deduplicating. With --file and no explicit selection, the
+  // file's suites are emitted.
   std::vector<std::string> suites;
   if (all) {
     suites = default_emit_suites(reg);
+  } else if (wanted.empty()) {
+    suites = file_suites;
   } else {
     std::set<std::string> seen;
     for (const SuiteSpec& s : reg.suites()) {
@@ -208,8 +294,8 @@ int cmd_emit(const ScenarioRegistry& reg, std::vector<std::string> args) {
 
   EmitOptions opts;
   opts.out_dir = out_dir;
-  opts.jobs = jobs;
-  opts.sim_threads = sim_threads;
+  opts.jobs = copts.jobs;
+  opts.sim_threads = copts.sim_threads;
   opts.log = &std::cerr;
   try {
     (void)emit_suites(reg, suites, opts);
@@ -220,22 +306,115 @@ int cmd_emit(const ScenarioRegistry& reg, std::vector<std::string> args) {
   return 0;
 }
 
+int cmd_validate(std::vector<std::string> args) {
+  if (args.empty()) args.emplace_back("-");  // gen | validate pipelines
+  int rc = 0;  // worst outcome wins: 2 (unreadable, IO) > 1 (invalid content)
+  for (const std::string& path : args) {
+    const std::string source = path == "-" ? "<stdin>" : path;
+    try {
+      const LoadedSuite suite = load_suite_file(path);
+      std::printf("%s: suite \"%s\" OK (%zu scenarios)\n", source.c_str(),
+                  suite.suite.name.c_str(), suite.scenarios.size());
+    } catch (const ScenarioFileIoError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      rc = 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      rc = std::max(rc, 1);
+    }
+  }
+  return rc;
+}
+
+int cmd_gen(const char* argv0, std::vector<std::string> args) {
+  GenOptions opts;
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string value;
+    if (args[i] == "--seed" || args[i] == "--count" || args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage(argv0);
+      value = args[i + 1];
+    } else if (args[i].rfind("--seed=", 0) == 0) {
+      value = args[i].substr(7);
+    } else if (args[i].rfind("--count=", 0) == 0) {
+      value = args[i].substr(8);
+    } else if (args[i].rfind("--out=", 0) == 0) {
+      value = args[i].substr(6);
+    } else {
+      return usage(argv0);
+    }
+    const bool is_seed = args[i].rfind("--seed", 0) == 0;
+    const bool is_count = args[i].rfind("--count", 0) == 0;
+    if (args[i].find('=') == std::string::npos) ++i;
+    if (is_seed || is_count) {
+      // Strict: the whole value must be a non-negative integer. stoull
+      // alone would wrap "-1" and stop at trailing junk ("20x") — fatal
+      // for a tool whose point is seed-exact reproducibility.
+      try {
+        std::size_t pos = 0;
+        if (value.empty() || value[0] == '-' || value[0] == '+') throw std::invalid_argument(value);
+        const unsigned long long parsed = std::stoull(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        if (is_seed) {
+          opts.seed = parsed;
+        } else if (parsed > 4294967295ULL) {
+          throw std::out_of_range(value);
+        } else {
+          opts.count = static_cast<unsigned>(parsed);
+        }
+      } catch (const std::exception&) {
+        return usage(argv0);
+      }
+    } else {
+      // `--out=` with an empty value (e.g. an unset shell variable) must
+      // not silently fall back to stdout, matching emit's --out handling.
+      if (value.empty()) return usage(argv0);
+      out_path = value;
+    }
+  }
+  if (opts.count == 0) return usage(argv0);
+  if (opts.count > kMaxScenariosPerSuite) {
+    std::fprintf(stderr, "gen: --count is capped at %zu scenarios per suite\n",
+                 kMaxScenariosPerSuite);
+    return 2;
+  }
+
+  std::string text;
+  try {
+    text = generate_suite(opts).dump();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gen: internal error: %s\n", e.what());
+    return 2;
+  }
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "gen: cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+  out << text;
+  out.flush();  // surface a full-disk/IO failure before the exit code
+  if (!out.good()) {
+    std::fprintf(stderr, "gen: write to %s failed\n", out_path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 int main_impl(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
-  register_builtin();
-  const ScenarioRegistry& reg = ScenarioRegistry::instance();
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
 
-  if (cmd == "list") return cmd_list(reg, args);
-  if (cmd == "run") {
-    const int rc = cmd_run(reg, std::move(args));
-    return rc == 2 ? usage(argv[0]) : rc;
-  }
-  if (cmd == "emit") {
-    const int rc = cmd_emit(reg, std::move(args));
-    return rc == 2 ? usage(argv[0]) : rc;
-  }
+  if (cmd == "list") return cmd_list(argv[0], std::move(args));
+  if (cmd == "run") return cmd_run(argv[0], std::move(args));
+  if (cmd == "emit") return cmd_emit(argv[0], std::move(args));
+  if (cmd == "validate") return cmd_validate(std::move(args));
+  if (cmd == "gen") return cmd_gen(argv[0], std::move(args));
+  std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
   return usage(argv[0]);
 }
 
