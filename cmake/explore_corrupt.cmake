@@ -1,0 +1,62 @@
+# CTest script: corrupt or version-mismatched explore artifacts must be
+# refused with exit 2 (unusable input), and the error must name the
+# offending path — never a crash, never a silently restarted search.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   OUT_DIR   scratch directory
+
+foreach(var TCDM_RUN OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "explore_corrupt.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(suite "${OUT_DIR}/suite.json")
+
+execute_process(
+  COMMAND "${TCDM_RUN}" gen --seed 1 --count 4 --out "${suite}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed (exit ${rc})")
+endif()
+
+# Helper: run explore with ARGN, require exit 2 and `pattern` in stderr.
+function(expect_refusal pattern)
+  execute_process(
+    COMMAND "${TCDM_RUN}" explore ${ARGN} "${suite}"
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+            "explore ${ARGN}: expected exit 2, got ${rc} (stderr: ${err})")
+  endif()
+  if(NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR
+            "explore ${ARGN}: error does not match '${pattern}': ${err}")
+  endif()
+endfunction()
+
+# 1. Unparsable cache line (not the final line): refused, path:line named.
+file(WRITE "${OUT_DIR}/bad-cache.jsonl"
+     "{\"schema\":\"tcdm-explore-cache\",\"schema_version\":1}\nnot json\n{}\n")
+expect_refusal("bad-cache\\.jsonl:2" --cache "${OUT_DIR}/bad-cache.jsonl")
+
+# 2. Version-mismatched cache header: refused, version named.
+file(WRITE "${OUT_DIR}/vers-cache.jsonl"
+     "{\"schema\":\"tcdm-explore-cache\",\"schema_version\":999}\n")
+expect_refusal("vers-cache\\.jsonl:1.*schema_version"
+               --cache "${OUT_DIR}/vers-cache.jsonl")
+
+# 3. Checkpoint that is not a state document at all.
+file(WRITE "${OUT_DIR}/bad-state.json" "{\"schema\":\"something-else\"}\n")
+expect_refusal("bad-state\\.json" --state "${OUT_DIR}/bad-state.json" --resume)
+
+# 4. Version-mismatched checkpoint.
+file(WRITE "${OUT_DIR}/vers-state.json"
+     "{\"schema\":\"tcdm-explore-state\",\"schema_version\":999}\n")
+expect_refusal("vers-state\\.json.*schema_version"
+               --state "${OUT_DIR}/vers-state.json" --resume)
+
+message(STATUS "corrupt cache/checkpoint artifacts are refused with exit 2")

@@ -1,0 +1,99 @@
+# CTest script: the explore differential gate. For each seed, generates a
+# randomized suite and proves three equalities over the full CLI:
+#
+#   1. exhaustive enumeration (--no-prune, no cache) and the memoized +
+#      pruned search produce byte-identical Pareto reports;
+#   2. a warm-cache rerun of the search produces byte-identical bytes again
+#      AND performs zero simulations (the summary line says simulations=0);
+#   3. the warm rerun's frontier equals the cold one's.
+#
+# Together these lock the engine's central claim: memoization and exact
+# dominance pruning are pure accelerations — they can never change what the
+# search finds.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   SEEDS     optional: semicolon- or space-separated seed list (default 3)
+#   COUNT     optional: scenarios per generated suite (default 12)
+#   OUT_DIR   scratch directory
+
+foreach(var TCDM_RUN OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "explore_differential.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED SEEDS)
+  set(SEEDS "3;42;1337")
+endif()
+if(NOT DEFINED COUNT)
+  set(COUNT 12)
+endif()
+separate_arguments(seed_list UNIX_COMMAND "${SEEDS}")
+if(NOT seed_list)
+  set(seed_list ${SEEDS})
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(seed ${seed_list})
+  set(prefix "${OUT_DIR}/seed${seed}")
+
+  execute_process(
+    COMMAND "${TCDM_RUN}" gen --seed ${seed} --count ${COUNT}
+            --out "${prefix}.json"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "seed ${seed}: gen failed (exit ${rc})")
+  endif()
+
+  # Exhaustive reference: every candidate simulated, nothing pruned.
+  execute_process(
+    COMMAND "${TCDM_RUN}" explore --no-prune
+            --report "${prefix}-exhaustive.json" "${prefix}.json"
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "seed ${seed}: exhaustive explore failed (exit ${rc})")
+  endif()
+
+  # Memoized + pruned search (cold cache), scenario-parallel.
+  execute_process(
+    COMMAND "${TCDM_RUN}" explore -j 4 --cache "${prefix}-cache.jsonl"
+            --report "${prefix}-cold.json" "${prefix}.json"
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "seed ${seed}: cold explore failed (exit ${rc})")
+  endif()
+
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${prefix}-exhaustive.json" "${prefix}-cold.json"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "seed ${seed}: pruned+memoized frontier differs from exhaustive")
+  endif()
+
+  # Warm rerun against the same cache: identical bytes, zero simulations.
+  execute_process(
+    COMMAND "${TCDM_RUN}" explore -j 4 --cache "${prefix}-cache.jsonl"
+            --report "${prefix}-warm.json" "${prefix}.json"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE warm_out ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "seed ${seed}: warm explore failed (exit ${rc})")
+  endif()
+  if(NOT warm_out MATCHES " simulations=0 ")
+    message(FATAL_ERROR
+            "seed ${seed}: warm rerun simulated (summary: ${warm_out})")
+  endif()
+
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${prefix}-cold.json" "${prefix}-warm.json"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "seed ${seed}: warm report differs from cold report")
+  endif()
+
+  message(STATUS "seed ${seed}: exhaustive == pruned == warm (0 simulations)")
+endforeach()

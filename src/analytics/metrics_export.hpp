@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/analytics/power_model.hpp"
 #include "src/cluster/kernel_runner.hpp"
 #include "src/common/json.hpp"
 
@@ -73,5 +74,19 @@ struct MetricsDoc {
   /// malformed.
   static MetricsDoc read_file(const std::string& path);
 };
+
+/// Full KernelMetrics / PowerBreakdown <-> JSON round trips, used wherever
+/// a complete simulation result is persisted (the explore memo cache and
+/// its checkpoints). Doubles serialize at shortest-round-trip precision, so
+/// from_json(to_json(m)) reproduces every field bit for bit — a cached
+/// result is indistinguishable from a fresh simulation. The parsers are
+/// strict: a missing or unknown field throws SchemaError naming the
+/// `/`-joined path, so a corrupted store fails loudly instead of yielding a
+/// silently wrong result.
+[[nodiscard]] Json kernel_metrics_to_json(const KernelMetrics& m);
+[[nodiscard]] KernelMetrics kernel_metrics_from_json(const Json& j,
+                                                     const std::string& path);
+[[nodiscard]] Json power_to_json(const PowerBreakdown& p);
+[[nodiscard]] PowerBreakdown power_from_json(const Json& j, const std::string& path);
 
 }  // namespace tcdm::metrics

@@ -128,6 +128,36 @@ void append_number(std::string& out, double d) {
   out += buf;
 }
 
+void dump_value_compact(std::string& out, const Json& v) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    append_number(out, v.as_double());
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    out += '[';
+    const Json::Array& arr = v.as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i != 0) out += ',';
+      dump_value_compact(out, arr[i]);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    std::size_t i = 0;
+    for (const auto& [key, val] : v.as_object()) {
+      if (i++ != 0) out += ',';
+      append_escaped(out, key);
+      out += ':';
+      dump_value_compact(out, val);
+    }
+    out += '}';
+  }
+}
+
 void dump_value(std::string& out, const Json& v, int depth) {
   const std::string pad(2 * static_cast<std::size_t>(depth + 1), ' ');
   const std::string close_pad(2 * static_cast<std::size_t>(depth), ' ');
@@ -179,6 +209,12 @@ std::string Json::dump() const {
   std::string out;
   dump_value(out, *this, 0);
   out += '\n';
+  return out;
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_value_compact(out, *this);
   return out;
 }
 

@@ -71,6 +71,12 @@ class Json {
   /// Serialize with 2-space indentation and a trailing newline at top level.
   [[nodiscard]] std::string dump() const;
 
+  /// Serialize to a single line with no whitespace or trailing newline —
+  /// the JSON-lines form (one value per line) used by append-only stores
+  /// like the explore result cache. parse(dump_compact()) round-trips
+  /// exactly like parse(dump()).
+  [[nodiscard]] std::string dump_compact() const;
+
   /// Parse a complete JSON document; trailing garbage is an error.
   static Json parse(std::string_view text);
 

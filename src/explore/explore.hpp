@@ -1,0 +1,111 @@
+// Memoized, resumable design-space exploration over a data-driven scenario
+// suite (the `tcdm_run explore` backend). The driver walks the suite's
+// expanded design points in deterministic (expansion) order, in fixed-size
+// waves:
+//
+//   scan   — per candidate: canonical key (config_hash), closed-form area,
+//            admissibility (area cap), exact dominance pruning against the
+//            committed frontier (value upper bound, so pruning can never
+//            change the outcome), then memo lookup (hit = free) or
+//            simulation scheduling (miss);
+//   run    — the wave's misses simulate on the PR 3/4 sweep runner
+//            (`-j` scenario-parallel x `--sim-threads` tile-parallel);
+//   fold   — results commit into the Pareto frontier in candidate order;
+//   save   — the search state checkpoints via atomic write-then-rename.
+//
+// Wave size is a constant, so pruning decisions — and therefore the report,
+// byte for byte — are independent of `jobs`/`sim_threads`. The budget caps
+// *simulations* (cache hits are free); an exhausted budget checkpoints and
+// stops, and a later `--resume` (same suite, objective and settings)
+// continues from the frontier instead of from scratch. A run killed at any
+// point resumes the same way: the memo store already holds every completed
+// simulation, so re-covered ground costs nothing.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/explore/config_hash.hpp"
+#include "src/explore/memo_store.hpp"
+#include "src/explore/pareto.hpp"
+
+namespace tcdm::explore {
+
+inline constexpr const char* kStateSchemaName = "tcdm-explore-state";
+inline constexpr int kStateSchemaVersion = 1;
+inline constexpr const char* kReportSchemaName = "tcdm-explore-report";
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Candidates per wave. A constant (not derived from `jobs`) so that the
+/// prune/evaluate schedule, the checkpoint cadence and the final report are
+/// identical at any parallelism.
+inline constexpr std::size_t kWaveSize = 8;
+
+/// Thrown by the --fail-after fault-injection hook after the checkpoint is
+/// written; the CLI maps it to exit 3 so tests can tell an injected abort
+/// from a real failure.
+class ExploreAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ExploreOptions {
+  Objective objective{};
+  /// Maximum simulations this invocation may run (cache hits are free);
+  /// 0 = unlimited. Exhausting it checkpoints and returns with
+  /// budget_exhausted set, ready to --resume with a larger budget.
+  std::size_t budget = 0;
+  /// JSON-lines memo store path; empty = memoize in memory only.
+  std::string cache_path;
+  /// Checkpoint path (atomic write-then-rename per wave); empty = none.
+  std::string state_path;
+  /// Continue from state_path if it exists (fresh start when it does not).
+  bool resume = false;
+  /// Exact dominance pruning. Off = pure exhaustive enumeration; the final
+  /// frontier is identical either way (the differential suites prove it).
+  bool prune = true;
+  unsigned jobs = 1;         // scenario-parallel sweep workers
+  unsigned sim_threads = 0;  // tile-parallel stepping (0 = per-spec)
+  /// Fault injection: abort (ExploreAborted) once this many simulations
+  /// have completed and been checkpointed. 0 = disabled.
+  std::size_t fail_after = 0;
+  std::ostream* log = nullptr;  // progress notes
+};
+
+struct ExploreOutcome {
+  std::vector<FrontierPoint> frontier;
+  std::size_t candidates = 0;
+  std::size_t pruned_area_cap = 0;
+  std::size_t pruned_dominated = 0;
+  std::size_t cache_hits = 0;
+  std::size_t simulations = 0;
+  std::size_t failures = 0;       // simulated points that errored
+  std::size_t resumed_at = 0;     // first index this run processed
+  std::size_t checkpoints = 0;
+  bool budget_exhausted = false;
+  /// Flat StatsRegistry dump of the counters above ("explore.cache_hits":
+  /// ... etc.) — the machine-readable side channel the CI smoke leg greps.
+  std::string stats_json;
+};
+
+/// Run the search. Throws ExploreFileError on corrupt/mismatched cache or
+/// state files, ExploreAborted from the fail-after hook, std::runtime_error
+/// on IO failures. Scenario-level failures do NOT throw: they are counted,
+/// cached and excluded from the frontier.
+[[nodiscard]] ExploreOutcome run_explore(const scenario::LoadedSuite& suite,
+                                         const ExploreOptions& opts);
+
+/// The Pareto report document. Deliberately free of run statistics: a
+/// warm-cache rerun emits byte-identical bytes to the cold run that filled
+/// the cache (locked by CTest).
+[[nodiscard]] Json report_json(const scenario::LoadedSuite& suite,
+                               const ExploreOptions& opts,
+                               const ExploreOutcome& outcome);
+
+/// Render the frontier as a console table (the `run` subcommand analogue).
+void print_frontier(std::ostream& os, const ExploreOptions& opts,
+                    const ExploreOutcome& outcome);
+
+}  // namespace tcdm::explore

@@ -13,6 +13,13 @@
 //                                              files (default: stdin)
 //   tcdm_run gen --seed N --count K [--out F]  emit a randomized, invariant-
 //                                              checked suite file (stdout)
+//   tcdm_run explore [-j N] [--sim-threads N] [--objective NAME]
+//                    [--area-cap MGE] [--budget N] [--cache F] [--state F]
+//                    [--resume] [--no-prune] [--report F] [--stats-out F]
+//                    [--fail-after N] <suite.json>
+//                                              memoized design-space search
+//                                              over a suite file; prints the
+//                                              Pareto frontier
 //
 // `--file` registers a tcdm-scenarios JSON suite (repeatable) next to the
 // builtins; `--no-builtin` starts from an empty registry instead, which
@@ -23,7 +30,8 @@
 // additionally parallelizes each cluster's cycle loop (bit-identical at
 // any count; 0 = hardware concurrency).
 // Exit codes: 0 ok, 1 scenario/validation failure or empty selection,
-// 2 usage/IO errors (including unknown subcommands).
+// 2 usage/IO errors (including unknown subcommands and corrupt explore
+// cache/checkpoint files), 3 injected --fail-after abort.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "src/analytics/report.hpp"
+#include "src/explore/explore.hpp"
 #include "src/scenario/builtin.hpp"
 #include "src/scenario/emit.hpp"
 #include "src/scenario/runner.hpp"
@@ -52,8 +61,12 @@ int usage(const char* argv0) {
       "       %s emit [-j N] [--sim-threads N] [--file F]... [--no-builtin]\n"
       "            --out <dir> (--all | suite|glob...)\n"
       "       %s validate [file...|-]\n"
-      "       %s gen [--seed N] [--count K] [--out <file>]\n",
-      argv0, argv0, argv0, argv0, argv0);
+      "       %s gen [--seed N] [--count K] [--out <file>]\n"
+      "       %s explore [-j N] [--sim-threads N] [--objective NAME]\n"
+      "            [--area-cap MGE] [--budget N] [--cache F] [--state F]\n"
+      "            [--resume] [--no-prune] [--report F] [--stats-out F]\n"
+      "            [--fail-after N] <suite.json>\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -404,6 +417,182 @@ int cmd_gen(const char* argv0, std::vector<std::string> args) {
   return 0;
 }
 
+/// Strict non-negative integer ("all" is not accepted; 0 means unlimited
+/// for --budget and disabled for --fail-after).
+bool parse_size(const std::string& value, std::size_t& out) {
+  try {
+    std::size_t pos = 0;
+    if (value.empty() || value[0] == '-' || value[0] == '+') return false;
+    const unsigned long long parsed = std::stoull(value, &pos);
+    if (pos != value.size()) return false;
+    out = static_cast<std::size_t>(parsed);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+int cmd_explore(const char* argv0, std::vector<std::string> args) {
+  CommonOptions copts;
+  if (!parse_common(args, copts)) return usage(argv0);
+
+  explore::ExploreOptions eopts;
+  eopts.jobs = copts.jobs;
+  eopts.sim_threads = copts.sim_threads;
+  eopts.log = &std::cerr;
+  std::string report_path;
+  std::string stats_path;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string value;
+    enum class Want { kObjective, kAreaCap, kBudget, kCache, kState, kReport,
+                      kStats, kFailAfter } want;
+    if (args[i] == "--resume") {
+      eopts.resume = true;
+      continue;
+    } else if (args[i] == "--no-prune") {
+      eopts.prune = false;
+      continue;
+    } else if (args[i] == "--objective") {
+      want = Want::kObjective;
+    } else if (args[i] == "--area-cap") {
+      want = Want::kAreaCap;
+    } else if (args[i] == "--budget") {
+      want = Want::kBudget;
+    } else if (args[i] == "--cache") {
+      want = Want::kCache;
+    } else if (args[i] == "--state") {
+      want = Want::kState;
+    } else if (args[i] == "--report") {
+      want = Want::kReport;
+    } else if (args[i] == "--stats-out") {
+      want = Want::kStats;
+    } else if (args[i] == "--fail-after") {
+      want = Want::kFailAfter;
+    } else if (args[i].rfind("--", 0) == 0 &&
+               args[i].find('=') != std::string::npos) {
+      const std::string flag = args[i].substr(0, args[i].find('='));
+      value = args[i].substr(args[i].find('=') + 1);
+      if (flag == "--objective") want = Want::kObjective;
+      else if (flag == "--area-cap") want = Want::kAreaCap;
+      else if (flag == "--budget") want = Want::kBudget;
+      else if (flag == "--cache") want = Want::kCache;
+      else if (flag == "--state") want = Want::kState;
+      else if (flag == "--report") want = Want::kReport;
+      else if (flag == "--stats-out") want = Want::kStats;
+      else if (flag == "--fail-after") want = Want::kFailAfter;
+      else return usage(argv0);
+    } else {
+      rest.push_back(args[i]);
+      continue;
+    }
+    if (value.empty()) {
+      if (args[i].find('=') == std::string::npos) {
+        if (i + 1 >= args.size()) return usage(argv0);
+        value = args[++i];
+      }
+      if (value.empty()) return usage(argv0);  // --flag= with nothing after
+    }
+    switch (want) {
+      case Want::kObjective:
+        try {
+          eopts.objective.kind = explore::objective_by_name(value);
+        } catch (const std::invalid_argument& e) {
+          std::fprintf(stderr, "explore: %s\n", e.what());
+          return 2;
+        }
+        break;
+      case Want::kAreaCap:
+        try {
+          std::size_t pos = 0;
+          eopts.objective.area_cap_mge = std::stod(value, &pos);
+          if (pos != value.size() || eopts.objective.area_cap_mge <= 0.0) {
+            return usage(argv0);
+          }
+        } catch (const std::exception&) {
+          return usage(argv0);
+        }
+        break;
+      case Want::kBudget:
+        if (!parse_size(value, eopts.budget)) return usage(argv0);
+        break;
+      case Want::kCache: eopts.cache_path = value; break;
+      case Want::kState: eopts.state_path = value; break;
+      case Want::kReport: report_path = value; break;
+      case Want::kStats: stats_path = value; break;
+      case Want::kFailAfter:
+        if (!parse_size(value, eopts.fail_after)) return usage(argv0);
+        break;
+    }
+  }
+  // The search space is one suite file: either a positional path or --file
+  // (but not both, and exactly one — explore does not span suites).
+  for (const std::string& f : copts.files) rest.push_back(f);
+  if (rest.size() != 1 || copts.no_builtin) return usage(argv0);
+  if (eopts.resume && eopts.state_path.empty()) {
+    std::fprintf(stderr, "explore: --resume requires --state\n");
+    return 2;
+  }
+
+  LoadedSuite suite;
+  try {
+    suite = load_suite_file(rest[0]);
+  } catch (const ScenarioFileIoError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  explore::ExploreOutcome outcome;
+  try {
+    outcome = explore::run_explore(suite, eopts);
+  } catch (const explore::ExploreAborted& e) {
+    std::fprintf(stderr, "explore: %s\n", e.what());
+    return 3;
+  } catch (const explore::ExploreFileError& e) {
+    std::fprintf(stderr, "explore: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore: %s\n", e.what());
+    return 2;
+  }
+
+  explore::print_frontier(std::cout, eopts, outcome);
+  // Fixed-format machine-readable summary (the CI warm-cache smoke leg
+  // greps simulations=0 out of this line).
+  std::printf(
+      "explore: candidates=%zu pruned_area_cap=%zu pruned_dominated=%zu "
+      "cache_hits=%zu simulations=%zu failures=%zu frontier=%zu "
+      "budget_exhausted=%d\n",
+      outcome.candidates, outcome.pruned_area_cap, outcome.pruned_dominated,
+      outcome.cache_hits, outcome.simulations, outcome.failures,
+      outcome.frontier.size(), outcome.budget_exhausted ? 1 : 0);
+
+  const auto write_file = [](const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "explore: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    out << text;
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "explore: write to %s failed\n", path.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!report_path.empty() &&
+      !write_file(report_path, explore::report_json(suite, eopts, outcome).dump())) {
+    return 2;
+  }
+  if (!stats_path.empty() && !write_file(stats_path, outcome.stats_json)) return 2;
+
+  return outcome.failures > 0 ? 1 : 0;
+}
+
 int main_impl(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string cmd = argv[1];
@@ -414,6 +603,7 @@ int main_impl(int argc, char** argv) {
   if (cmd == "emit") return cmd_emit(argv[0], std::move(args));
   if (cmd == "validate") return cmd_validate(std::move(args));
   if (cmd == "gen") return cmd_gen(argv[0], std::move(args));
+  if (cmd == "explore") return cmd_explore(argv[0], std::move(args));
   std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
   return usage(argv[0]);
 }
