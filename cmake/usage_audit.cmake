@@ -1,0 +1,55 @@
+# CTest script: the usage text is the CLI's documented contract surface.
+# This audit runs tcdm_run with no arguments (which prints usage and exits
+# 2) and requires every subcommand, every flag the parser accepts, and
+# every --stepping mode value to appear in that output — so a flag added
+# to the parser without documentation, or renamed in only one place, fails
+# CI instead of drifting silently.
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+
+if(NOT DEFINED TCDM_RUN)
+  message(FATAL_ERROR "usage_audit.cmake: missing -DTCDM_RUN=...")
+endif()
+
+execute_process(
+  COMMAND "${TCDM_RUN}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "tcdm_run with no arguments: expected exit code 2, got ${rc}")
+endif()
+set(usage "${out}${err}")
+
+# Canonical spellings only: the short aliases --jobs (for -j) and -o (for
+# --out) are accepted but deliberately undocumented.
+set(expected_tokens
+  # subcommands
+  list run emit validate gen explore
+  # common flags (list/run/emit/explore)
+  -j --sim-threads --stepping --file --no-builtin
+  # emit
+  --out --all
+  # gen
+  --seed --count
+  # explore
+  --objective --area-cap --budget --cache --state --resume --no-prune
+  --report --stats-out --fail-after
+  # --stepping mode values
+  event cycle check)
+
+set(missing "")
+foreach(tok ${expected_tokens})
+  string(FIND "${usage}" "${tok}" pos)
+  if(pos EQUAL -1)
+    list(APPEND missing "${tok}")
+  endif()
+endforeach()
+if(missing)
+  message(FATAL_ERROR
+          "usage output is missing documented flags/subcommands: ${missing}\n"
+          "--- usage output ---\n${usage}")
+endif()
+list(LENGTH expected_tokens n)
+message(STATUS "usage output documents all ${n} expected flags/subcommands")

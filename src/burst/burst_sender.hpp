@@ -29,10 +29,12 @@
 #include <string>
 #include <vector>
 
+#include "src/common/inline_vec.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/types.hpp"
 #include "src/cluster/tile_services.hpp"
 #include "src/memory/mem_types.hpp"
+#include "src/spatz/vinstr.hpp"  // kMaxPorts bounds a beat's fan-out
 
 namespace tcdm {
 
@@ -67,8 +69,11 @@ struct WordRequest {
 };
 
 /// A cycle's worth of element accesses from one vector memory instruction.
+/// At most one element per VLSU port, so the words live in inline storage —
+/// beats are built and consumed every issuing cycle on the MP128 hot path,
+/// and a heap-backed vector here costs an allocation per core per beat.
 struct BeatRequest {
-  std::vector<WordRequest> words;
+  InlineVec<WordRequest, kMaxPorts> words;
   bool unit_stride_load = false;   // burst-eligible pattern
   bool strided_load = false;       // constant-stride load (strided-burst ext.)
   bool unit_stride_store = false;  // consecutive store (store-burst ext.)

@@ -49,6 +49,11 @@ class CentralBarrier {
   }
   [[nodiscard]] unsigned num_cores() const noexcept { return num_cores_; }
 
+  /// Event-driven stepping: a pending release is the barrier's only timed
+  /// event; release_at() is its exact cycle (docs/ARCHITECTURE.md, EV1).
+  [[nodiscard]] bool release_pending() const noexcept { return release_pending_; }
+  [[nodiscard]] Cycle release_at() const noexcept { return release_at_; }
+
  private:
   unsigned num_cores_;
   unsigned release_latency_;

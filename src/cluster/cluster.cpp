@@ -30,7 +30,8 @@ Cluster::Cluster(const ClusterConfig& cfg, const SimOptions& sim)
       map_(cfg.address_map()),
       barrier_(cfg.num_cores(), auto_barrier_latency(cfg, topo_)),
       watchdog_(100'000),
-      sim_threads_(resolve_sim_threads(sim, cfg.num_tiles)) {
+      sim_threads_(resolve_sim_threads(sim, cfg.num_tiles)),
+      stepping_(sim.stepping) {
   cfg_.validate();
   NetworkConfig net_cfg = cfg_.net;
   net_cfg.grouping_factor = cfg_.burst_enabled ? cfg_.grouping_factor : 1;
@@ -40,6 +41,9 @@ Cluster::Cluster(const ClusterConfig& cfg, const SimOptions& sim)
     tiles_.push_back(std::make_unique<Tile>(cfg_, t, *net_, map_, barrier_, stats_));
   }
   if (sim_threads_ > 1) pool_ = std::make_unique<WorkerPool>(sim_threads_);
+  active_tiles_.reserve(cfg_.num_tiles);
+  cycles_skipped_ = stats_.counter("sim.cycles_skipped");
+  cycles_simulated_ = stats_.counter("sim.cycles_simulated");
 }
 
 void Cluster::load_program(Program program) {
@@ -103,14 +107,18 @@ void Cluster::deliver_rsp(const TcdmResp& rsp, Cycle now) {
 
 bool Cluster::step() {
   const Cycle now = clock_.now();
+  cycles_simulated_.inc();
 
   // Phase 1 — core/VLSU issue, per tile. A halted core complex is fully
   // drained (the Snitch only halts after drained() && fully_idle()), so its
-  // cycle is a strict no-op and can be skipped.
-  for_each_tile([&](unsigned t) {
-    Tile& tile = *tiles_[t];
-    if (!tile.cc().halted()) tile.cycle_cores(now);
-  });
+  // cycle is a strict no-op and can be skipped. The active set is compacted
+  // first so the worker pool is dispatched only when at least two tiles
+  // actually have work (a skip jump often lands on a near-empty cycle).
+  active_tiles_.clear();
+  for (unsigned t = 0; t < tiles_.size(); ++t) {
+    if (!tiles_[t]->cc().halted()) active_tiles_.push_back(t);
+  }
+  for_each_active(active_tiles_, [&](unsigned t) { tiles_[t]->cycle_cores(now); });
 
   // Phase 2 — network & burst routing (serial: the egress arbiters read and
   // re-register master-port heads across tiles in a fixed global order).
@@ -119,10 +127,12 @@ bool Cluster::step() {
 
   // Phase 3 — bank access and response emission, per tile, with a
   // quiescence fast-path for tiles with no in-flight memory work.
-  for_each_tile([&](unsigned t) {
-    Tile& tile = *tiles_[t];
-    if (!tile.memory_quiescent()) tile.cycle_memory(now);
-  });
+  active_tiles_.clear();
+  for (unsigned t = 0; t < tiles_.size(); ++t) {
+    if (!tiles_[t]->memory_quiescent()) active_tiles_.push_back(t);
+  }
+  mem_phase_active_ = !active_tiles_.empty();
+  for_each_active(active_tiles_, [&](unsigned t) { tiles_[t]->cycle_memory(now); });
   net_->commit_deferred();
 
   // Phase 4 — barrier release, watchdog and halt detection (serial).
@@ -144,14 +154,128 @@ bool Cluster::step() {
   return all_halted;
 }
 
+Cycle Cluster::earliest_event(SkipPlan& plan) {
+  plan.clear();
+  const Cycle now = clock_.now();
+  Cycle wake = kNoCycle;
+  const auto n = static_cast<unsigned>(tiles_.size());
+  for (unsigned k = 0; k < n; ++k) {
+    // Start at the tile that most recently had work: while the cluster is
+    // busy this returns after one probe instead of scanning all tiles.
+    const unsigned t = scan_hint_ + k < n ? scan_hint_ + k : scan_hint_ + k - n;
+    const Tile& tile = *tiles_[t];
+    if (!tile.cc().halted()) {
+      const Cycle w = tile.cc().earliest_wakeup(now, plan);
+      if (w <= now) {
+        scan_hint_ = t;
+        return now;
+      }
+      wake = std::min(wake, w);
+    }
+    if (!tile.memory_quiescent()) {
+      scan_hint_ = t;
+      return now;
+    }
+  }
+  const Cycle net_wake = net_->earliest_wakeup(now);
+  if (net_wake <= now) return now;
+  wake = std::min(wake, net_wake);
+  if (barrier_.release_pending()) {
+    const Cycle release = barrier_.release_at();
+    if (release <= now) return now;
+    wake = std::min(wake, release);
+  }
+  return wake;
+}
+
+void Cluster::cross_check_span(Cycle claimed_event, Cycle target) {
+  if (xc_slots_.empty()) xc_slots_ = stats_.slots();
+  const auto index_of = [&](const double* slot) {
+    for (std::size_t i = 0; i < xc_slots_.size(); ++i) {
+      if (xc_slots_[i] == slot) return i;
+    }
+    throw std::logic_error("cross-check: SkipPlan counter not in the registry");
+  };
+  const auto name_of = [&](std::size_t i) { return stats_.snapshot().at(i).first; };
+
+  while (clock_.now() < target) {
+    const Cycle at = clock_.now();
+    // Expected registry state after one reference step of a claimed-quiet
+    // cycle: exactly the declared per-cycle rates (EV2), plus the step's own
+    // simulated-cycle accounting.
+    stats_.values(xc_expected_);
+    for (const SkipPlan::Entry& e : plan_.entries()) {
+      xc_expected_[index_of(e.counter.slot())] += e.per_cycle;
+    }
+    xc_expected_[index_of(cycles_simulated_.slot())] += 1.0;
+
+    const bool halted = step();
+    stats_.values(xc_after_);
+    for (std::size_t i = 0; i < xc_after_.size(); ++i) {
+      if (xc_after_[i] != xc_expected_[i]) {
+        throw WakeupContractError(
+            "EV2 violation (declared-rate exactness, docs/ARCHITECTURE.md): counter '" +
+            name_of(i) + "' moved by " + std::to_string(xc_after_[i] - xc_expected_[i]) +
+            " beyond its declared rate at cycle " + std::to_string(at) +
+            " inside a span claimed quiet until cycle " + std::to_string(claimed_event));
+      }
+    }
+    if (halted) {
+      throw WakeupContractError(
+          "EV1 violation (quiet-span soundness, docs/ARCHITECTURE.md): the cluster "
+          "halted at cycle " + std::to_string(at) +
+          " inside a span claimed quiet until cycle " + std::to_string(claimed_event));
+    }
+    Cycle replanned = earliest_event(plan_);
+    if (wakeup_bias_ != 0 && replanned != kNoCycle) replanned += wakeup_bias_;
+    if (replanned != claimed_event) {
+      throw WakeupContractError(
+          "EV1 violation (quiet-span soundness, docs/ARCHITECTURE.md): stepping "
+          "claimed-quiet cycle " + std::to_string(at) + " moved the next event from " +
+          std::to_string(claimed_event) + " to " + std::to_string(replanned));
+    }
+  }
+}
+
 RunOutcome Cluster::run(Cycle max_cycles) {
   if (programs_.empty()) throw std::logic_error("run: no program loaded");
   RunOutcome out;
   const Cycle start = clock_.now();
-  while (clock_.now() - start < max_cycles) {
+  const Cycle budget_end = max_cycles > kNoCycle - start ? kNoCycle : start + max_cycles;
+  while (clock_.now() < budget_end) {
     if (step()) {
       out.all_halted = true;
       break;
+    }
+    if (stepping_ == SteppingMode::kCycleByCycle) continue;
+    const Cycle now = clock_.now();
+    if (now >= budget_end) break;
+    // O(1) gate before the O(tiles) probe: while any tile's memory stage is
+    // streaming beats, some tile has work next cycle too and the probe would
+    // answer "no skip" at full-scan cost — precisely the dense workloads
+    // where skipping cannot pay. The gate is purely a may-probe filter
+    // (missing a skip costs one extra stepped cycle, never correctness) and
+    // applies identically in kCrossCheck, so check mode validates exactly
+    // the decisions event mode takes.
+    if (mem_phase_active_) continue;
+
+    Cycle event = earliest_event(plan_);
+    if (wakeup_bias_ != 0 && event != kNoCycle) event += wakeup_bias_;
+    if (event <= now) continue;  // work this cycle — no skip
+    // Never jump past the watchdog deadline (the deadlock diagnostic must
+    // fire at the reference cycle) or the caller's cycle budget; declared
+    // stall rates still apply to the capped span, so a timed-out run's
+    // counters match the reference loop exactly.
+    const Cycle jump_to = std::min(std::min(event, watchdog_.deadline()), budget_end);
+    if (jump_to <= now) continue;
+
+    if (stepping_ == SteppingMode::kEventDriven) {
+      const auto skipped = static_cast<double>(jump_to - now);
+      plan_.apply(skipped);
+      cycles_skipped_.inc(skipped);
+      clock_.advance_by(jump_to - now);
+    } else {
+      cross_check_span(event, jump_to);
     }
   }
   out.cycles = clock_.now() - start;

@@ -37,6 +37,24 @@ struct RunOutcome {
   bool all_halted = false;
 };
 
+/// How Cluster::run() advances time. All modes produce bit-identical
+/// simulations (same cycle counts, same statistics apart from the `sim.*`
+/// bookkeeping counters, same memory image); see docs/ARCHITECTURE.md for
+/// the wakeup contract that makes the event-driven mode provably exact.
+enum class SteppingMode : std::uint8_t {
+  /// Next-event skipping (default): when every component agrees the next
+  /// event is at cycle t+k, jump the clock by k and bulk-apply the declared
+  /// per-cycle stall counters instead of stepping k idle cycles.
+  kEventDriven,
+  /// Reference loop: visit every cycle (the pre-skip behaviour).
+  kCycleByCycle,
+  /// Debug: compute each skip decision, then step the claimed-quiet span
+  /// cycle by cycle and verify invariants EV1/EV2 of docs/ARCHITECTURE.md,
+  /// throwing WakeupContractError on any violation. As slow as
+  /// kCycleByCycle; for tests and for validating new components.
+  kCrossCheck,
+};
+
 /// Host-side simulation options — knobs that change how fast the simulator
 /// runs, never what it computes.
 struct SimOptions {
@@ -45,6 +63,8 @@ struct SimOptions {
   /// effective count is clamped to the cluster's tile count. Any value
   /// produces bit-identical simulations.
   unsigned sim_threads = 1;
+  /// Time-advance strategy for run(); step() is always single-cycle.
+  SteppingMode stepping = SteppingMode::kEventDriven;
 };
 
 class Cluster final : public RspSink {
@@ -79,8 +99,21 @@ class Cluster final : public RspSink {
   /// Advance one cycle; returns true when every hart has halted.
   bool step();
   /// Run to completion (all harts halted) or `max_cycles`; throws
-  /// DeadlockError if the watchdog fires.
+  /// DeadlockError if the watchdog fires. Advances time according to the
+  /// configured SteppingMode; every mode reaches the same states at the
+  /// same cycle numbers.
   RunOutcome run(Cycle max_cycles = 50'000'000);
+
+  [[nodiscard]] SteppingMode stepping() const noexcept { return stepping_; }
+  /// Quiet cycles jumped over by event-driven stepping so far (the
+  /// `sim.cycles_skipped` counter; 0 in kCycleByCycle/kCrossCheck modes).
+  [[nodiscard]] double cycles_skipped() const noexcept { return cycles_skipped_.value(); }
+
+  /// TEST-ONLY: offset every computed earliest-event cycle by `bias` before
+  /// acting on it. A positive bias fabricates exactly the bug class the
+  /// wakeup contract forbids (a too-late earliest_wakeup, EV1); the
+  /// kCrossCheck mode must detect it. Never use outside tests.
+  void debug_set_wakeup_bias(Cycle bias) noexcept { wakeup_bias_ = bias; }
 
   /// Set the watchdog's no-progress window (cycles).
   void set_watchdog_window(Cycle window) { watchdog_.set_window(window); }
@@ -105,17 +138,33 @@ class Cluster final : public RspSink {
   [[nodiscard]] double bytes_stored() const;
 
  private:
-  /// Run `fn(tile_index)` for every tile: on the worker pool when
-  /// sim_threads > 1, inline otherwise. `fn` must only touch the tile's own
+  /// Run `fn(tile_index)` for the tiles listed in `active`: on the worker
+  /// pool when sim_threads > 1 and at least two tiles have work, inline
+  /// otherwise (the pool is never woken for an empty or single-tile phase —
+  /// see WorkerPool::epochs_dispatched). `fn` must only touch the tile's own
   /// state plus the staged-commit network/barrier entry points.
   template <typename Fn>
-  void for_each_tile(Fn&& fn) {
+  void for_each_active(const std::vector<unsigned>& active, Fn&& fn) {
+    const auto n = static_cast<unsigned>(active.size());
     if (pool_) {
-      pool_->parallel_for(static_cast<unsigned>(tiles_.size()), fn);
+      pool_->parallel_for(n, [&](unsigned i) { fn(active[i]); });
     } else {
-      for (unsigned t = 0; t < tiles_.size(); ++t) fn(t);
+      for (unsigned i = 0; i < n; ++i) fn(active[i]);
     }
   }
+
+  /// Global next-event query (docs/ARCHITECTURE.md): the minimum
+  /// earliest_wakeup over every non-halted CC, every non-quiescent tile
+  /// memory stage, the network and a pending barrier release — with the
+  /// quiet span's declared per-cycle counter rates collected into `plan` in
+  /// the same traversal. Returns `now` as soon as any component has work
+  /// this cycle (the plan is then meaningless and discarded by the caller).
+  Cycle earliest_event(SkipPlan& plan);
+
+  /// kCrossCheck helper: step the claimed-quiet span [now, target) one cycle
+  /// at a time, verifying EV1/EV2 after each step. Throws
+  /// WakeupContractError naming the violated invariant.
+  void cross_check_span(Cycle claimed_event, Cycle target);
 
   ClusterConfig cfg_;
   Topology topo_;
@@ -130,6 +179,23 @@ class Cluster final : public RspSink {
   unsigned sim_threads_ = 1;
   std::unique_ptr<WorkerPool> pool_;  // only when sim_threads_ > 1
   double last_progress_token_ = -1.0;
+
+  // ---- event-driven stepping state ----
+  SteppingMode stepping_ = SteppingMode::kEventDriven;
+  SkipPlan plan_;                       // reused across skip decisions
+  std::vector<unsigned> active_tiles_;  // reused per-phase compaction buffer
+  unsigned scan_hint_ = 0;  // tile that most recently had work; earliest_event
+                            // starts its scan there so a busy cluster answers
+                            // "no skip" in O(1) (scan order never affects the
+                            // result — the plan's counter sums commute)
+  Cycle wakeup_bias_ = 0;   // test-only fault injection (debug_set_wakeup_bias)
+  bool mem_phase_active_ = false;  // last step had memory-phase work (probe gate)
+  Counter cycles_skipped_;
+  Counter cycles_simulated_;
+  // Cross-check scratch (lazily sized; kCrossCheck only).
+  std::vector<double> xc_expected_;
+  std::vector<double> xc_after_;
+  std::vector<const double*> xc_slots_;
 };
 
 }  // namespace tcdm

@@ -47,6 +47,19 @@ std::vector<std::pair<std::string, double>> StatsRegistry::snapshot() const {
   return out;
 }
 
+void StatsRegistry::values(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.push_back(*slot);
+}
+
+std::vector<const double*> StatsRegistry::slots() const {
+  std::vector<const double*> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.push_back(slot.get());
+  return out;
+}
+
 std::string StatsRegistry::to_json() const {
   std::ostringstream os;
   os.precision(17);  // round-trip exact for doubles

@@ -23,9 +23,39 @@ class Counter {
   }
   [[nodiscard]] double value() const noexcept { return slot_ != nullptr ? *slot_ : 0.0; }
   [[nodiscard]] bool valid() const noexcept { return slot_ != nullptr; }
+  /// Identity of the underlying storage; used by the cross-check stepping
+  /// mode to map SkipPlan entries back to registry positions.
+  [[nodiscard]] const double* slot() const noexcept { return slot_; }
 
  private:
   double* slot_ = nullptr;
+};
+
+/// The declared linear-counter contract of event-driven stepping (invariant
+/// EV2 in docs/ARCHITECTURE.md): over a quiet span, each listed counter
+/// advances by exactly `per_cycle` every cycle and no other counter moves.
+/// Components fill the plan while reporting earliest_wakeup(); the cluster
+/// applies it in bulk when it jumps the clock. Rates are small integers and
+/// counter values stay far below 2^53, so `per_cycle * cycles` is exact.
+class SkipPlan {
+ public:
+  struct Entry {
+    Counter counter;
+    double per_cycle;
+  };
+
+  void clear() noexcept { entries_.clear(); }
+  void add(const Counter& counter, double per_cycle) { entries_.push_back({counter, per_cycle}); }
+
+  /// Bulk-apply every declared rate over `cycles` skipped cycles.
+  void apply(double cycles) {
+    for (Entry& e : entries_) e.counter.inc(e.per_cycle * cycles);
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
 };
 
 /// Name -> value map with stable storage so Counter handles never dangle.
@@ -50,6 +80,14 @@ class StatsRegistry {
 
   /// Sorted snapshot for reporting.
   [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Dense value vector in name order (reuses `out`'s capacity). Positions
+  /// align with slots(); used by the cross-check stepping mode to diff the
+  /// whole registry cheaply between cycles.
+  void values(std::vector<double>& out) const;
+
+  /// Storage identity of every counter, in the same name order as values().
+  [[nodiscard]] std::vector<const double*> slots() const;
 
   /// Serialize every counter as a flat JSON object ({"name": value, ...}),
   /// sorted by name — the machine-readable end-of-run dump consumed by

@@ -39,6 +39,14 @@ class TimedQueue {
   [[nodiscard]] const T& front() const { return q_.front().item; }
   [[nodiscard]] Cycle front_ready_at() const { return q_.front().ready_at; }
 
+  /// Next cycle at which the head could become observable, or kNoCycle when
+  /// empty. Because the queue is FIFO and in-order, the head's ready time is
+  /// the earliest of the whole queue — this is the queue's contribution to a
+  /// component's earliest_wakeup() (see docs/ARCHITECTURE.md, EV1).
+  [[nodiscard]] Cycle earliest_ready() const {
+    return q_.empty() ? kNoCycle : q_.front().ready_at;
+  }
+
   T pop() { return q_.pop().item; }
 
   void clear() noexcept { q_.clear(); }

@@ -91,7 +91,9 @@ void WorkerPool::worker_loop(unsigned worker_index) {
 
 void WorkerPool::parallel_for_raw(unsigned n, void (*fn)(void*, unsigned), void* ctx) {
   if (workers_.empty() || n <= 1) {
-    // Inline path: exceptions propagate directly, as in a plain loop.
+    // Inline path: exceptions propagate directly, as in a plain loop. No
+    // epoch is published, so parked workers stay parked — essential when an
+    // event-driven skip jump lands on a cycle with zero/one active tiles.
     for (unsigned i = 0; i < n; ++i) fn(ctx, i);
     return;
   }

@@ -50,6 +50,16 @@ class WorkerPool {
   /// attribution stays deterministic at any thread count.
   void parallel_for_raw(unsigned n, void (*fn)(void*, unsigned), void* ctx);
 
+  /// Number of epochs dispatched to the worker threads so far. Phases that
+  /// take the inline path (n <= 1, or no worker threads) do not bump this —
+  /// that is the contract the event-driven stepping loop relies on: a skip
+  /// jump that lands on a cycle where zero or one tiles have work must not
+  /// wake (and then re-park) the whole pool. Observable so tests can pin the
+  /// no-dispatch guarantee down.
+  [[nodiscard]] std::uint64_t epochs_dispatched() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
   /// Type-safe wrapper over parallel_for_raw for any callable `fn(unsigned)`.
   template <typename Fn>
   void parallel_for(unsigned n, Fn&& fn) {

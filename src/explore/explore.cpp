@@ -333,6 +333,7 @@ ExploreOutcome run_explore(const scenario::LoadedSuite& suite,
       scenario::SweepOptions sweep;
       sweep.jobs = opts.jobs;
       sweep.sim_threads = opts.sim_threads;
+      sweep.stepping = opts.stepping;
       if (opts.log != nullptr) {
         sweep.on_done = [&](const scenario::ScenarioResult& r) {
           *opts.log << "  [sim] " << r.name

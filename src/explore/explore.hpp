@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,9 @@ struct ExploreOptions {
   bool prune = true;
   unsigned jobs = 1;         // scenario-parallel sweep workers
   unsigned sim_threads = 0;  // tile-parallel stepping (0 = per-spec)
+  /// Stepping-mode override for the sweep (unset = per-spec). Results,
+  /// memo entries and reports are bit-identical in every mode.
+  std::optional<SteppingMode> stepping;
   /// Fault injection: abort (ExploreAborted) once this many simulations
   /// have completed and been checkpointed. 0 = disabled.
   std::size_t fail_after = 0;

@@ -82,6 +82,7 @@ void HierNetwork::send_req(TileId src, TileId dst, const TcdmReq& req, Cycle now
     op.egress = port_index(dst, cls);
   }
   deferred_[src].push_back(op);
+  deferred_ops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool HierNetwork::can_send_rsp(TileId responder, std::uint8_t cls, Cycle now) const {
@@ -111,6 +112,7 @@ void HierNetwork::send_rsp(TileId responder, const TcdmResp& rsp, Cycle now) {
     op.egress = port_index(rsp.dst_tile, cls);
   }
   deferred_[responder].push_back(op);
+  deferred_ops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void HierNetwork::send_store_ack(TileId responder, TileId requester, ReqOwner owner,
@@ -123,13 +125,16 @@ void HierNetwork::send_store_ack(TileId responder, TileId requester, ReqOwner ow
   op.ack_owner = owner;
   op.ack_requester = requester;
   deferred_[responder].push_back(op);
+  deferred_ops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void HierNetwork::register_req_head(TileId src, std::uint8_t cls) {
   const std::size_t p = port_index(src, cls);
   if (req_master_[p].empty()) return;
   const TileId dst = req_master_[p].front().dst;
-  const bool ok = req_wait_[port_index(dst, cls)].try_push(src);
+  auto& wait = req_wait_[port_index(dst, cls)];
+  if (wait.empty()) ++req_wait_active_;
+  const bool ok = wait.try_push(src);
   assert(ok);
   (void)ok;
   req_registered_[p] = true;
@@ -139,19 +144,24 @@ void HierNetwork::register_rsp_head(TileId responder, std::uint8_t cls) {
   const std::size_t p = port_index(responder, cls);
   if (rsp_master_[p].empty()) return;
   const TileId dst = rsp_master_[p].front().dst_tile;
-  const bool ok = rsp_wait_[port_index(dst, cls)].try_push(responder);
+  auto& wait = rsp_wait_[port_index(dst, cls)];
+  if (wait.empty()) ++rsp_wait_active_;
+  const bool ok = wait.try_push(responder);
   assert(ok);
   (void)ok;
   rsp_registered_[p] = true;
 }
 
 void HierNetwork::commit_deferred() {
+  if (deferred_ops_.load(std::memory_order_relaxed) == 0) return;
   for (std::vector<DeferredOp>& ops : deferred_) {
     for (const DeferredOp& op : ops) {
       switch (op.kind) {
         case DeferredOp::Kind::kReqSend:
           if (op.register_head) {
-            const bool ok = req_wait_[op.egress].try_push(op.who);
+            auto& wait = req_wait_[op.egress];
+            if (wait.empty()) ++req_wait_active_;
+            const bool ok = wait.try_push(op.who);
             assert(ok);
             (void)ok;
           }
@@ -161,7 +171,9 @@ void HierNetwork::commit_deferred() {
           break;
         case DeferredOp::Kind::kRspSend:
           if (op.register_head) {
-            const bool ok = rsp_wait_[op.egress].try_push(op.who);
+            auto& wait = rsp_wait_[op.egress];
+            if (wait.empty()) ++rsp_wait_active_;
+            const bool ok = wait.try_push(op.who);
             assert(ok);
             (void)ok;
           }
@@ -170,6 +182,7 @@ void HierNetwork::commit_deferred() {
           rsp_hop_words_.inc(op.hop_words);
           break;
         case DeferredOp::Kind::kStoreAck:
+          if (acks_[op.ack_requester].empty()) ++acks_active_;
           acks_[op.ack_requester].push_back(AckEntry{op.ack_ready_at, op.ack_owner});
           rsp_hop_words_.inc(op.hop_words);
           break;
@@ -177,6 +190,7 @@ void HierNetwork::commit_deferred() {
     }
     ops.clear();
   }
+  deferred_ops_.store(0, std::memory_order_relaxed);
 }
 
 void HierNetwork::cycle(Cycle now, RspSink& sink) {
@@ -186,70 +200,120 @@ void HierNetwork::cycle(Cycle now, RspSink& sink) {
 
   // Deliver due store-ack credits (out-of-band; see send_store_ack). Acks
   // are enqueued in ready order per tile, so only the head needs checking.
-  for (TileId t = 0; t < num_tiles_; ++t) {
-    auto& q = acks_[t];
-    while (!q.empty() && q.front().ready_at <= now) {
-      TcdmResp ack;
-      ack.write_ack = true;
-      ack.num_words = 0;
-      ack.dst_tile = t;
-      ack.tag.owner = q.front().owner;
-      sink.deliver_rsp(ack, now);
-      q.pop_front();
+  // The activity counts make each block a strict no-op skip when idle.
+  if (acks_active_ > 0) {
+    for (TileId t = 0; t < num_tiles_; ++t) {
+      auto& q = acks_[t];
+      if (q.empty() || q.front().ready_at > now) continue;
+      do {
+        TcdmResp ack;
+        ack.write_ack = true;
+        ack.num_words = 0;
+        ack.dst_tile = t;
+        ack.tag.owner = q.front().owner;
+        sink.deliver_rsp(ack, now);
+        q.pop_front();
+      } while (!q.empty() && q.front().ready_at <= now);
+      if (q.empty()) --acks_active_;
     }
   }
 
   // Request egress: one delivery per (dst, class) per cycle, FCFS over the
   // master ports whose head currently routes here.
-  for (TileId dst = 0; dst < num_tiles_; ++dst) {
-    for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
-      const std::size_t e = port_index(dst, cls);
-      auto& wait = req_wait_[e];
-      if (wait.empty()) continue;
-      auto& slave = req_slave_[e];
-      if (slave.full()) {
-        egress_blocked_.inc();
-        continue;
+  if (req_wait_active_ > 0) {
+    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+      for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
+        const std::size_t e = port_index(dst, cls);
+        auto& wait = req_wait_[e];
+        if (wait.empty()) continue;
+        auto& slave = req_slave_[e];
+        if (slave.full()) {
+          egress_blocked_.inc();
+          continue;
+        }
+        const TileId src = wait.front();
+        const std::size_t mp = port_index(src, cls);
+        auto& master = req_master_[mp];
+        assert(!master.empty());
+        if (!master.front_ready(now)) continue;  // pipe latency not yet elapsed
+        assert(master.front().dst == dst);
+        const bool ok = slave.try_push(master.pop().req);
+        assert(ok);
+        (void)ok;
+        wait.pop();
+        if (wait.empty()) --req_wait_active_;
+        req_registered_[mp] = false;
+        register_req_head(src, cls);  // re-register for the new head (if any)
       }
-      const TileId src = wait.front();
-      const std::size_t mp = port_index(src, cls);
-      auto& master = req_master_[mp];
-      assert(!master.empty());
-      if (!master.front_ready(now)) continue;  // pipe latency not yet elapsed
-      assert(master.front().dst == dst);
-      const bool ok = slave.try_push(master.pop().req);
-      assert(ok);
-      (void)ok;
-      wait.pop();
-      req_registered_[mp] = false;
-      register_req_head(src, cls);  // re-register for the new head (if any)
     }
   }
 
   // Response egress: the CC retires at most ONE beat per cycle across all
   // classes (its GF-wide response channel); rotate class priority for
   // fairness. Delivery straight into the requesting core (always sinkable).
-  for (TileId dst = 0; dst < num_tiles_; ++dst) {
-    const unsigned rr = rsp_egress_rr_[dst];
-    for (unsigned k = 0; k < num_classes_; ++k) {
-      const auto cls = static_cast<std::uint8_t>((rr + k) % num_classes_);
-      const std::size_t e = port_index(dst, cls);
-      auto& wait = rsp_wait_[e];
-      if (wait.empty()) continue;
-      const TileId responder = wait.front();
-      const std::size_t mp = port_index(responder, cls);
-      auto& master = rsp_master_[mp];
-      assert(!master.empty());
-      if (!master.front_ready(now)) continue;
-      assert(master.front().dst_tile == dst);
-      sink.deliver_rsp(master.pop(), now);
-      wait.pop();
-      rsp_registered_[mp] = false;
-      register_rsp_head(responder, cls);
-      rsp_egress_rr_[dst] = (cls + 1) % num_classes_;
-      break;  // one beat per requester per cycle
+  if (rsp_wait_active_ > 0) {
+    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+      const unsigned rr = rsp_egress_rr_[dst];
+      for (unsigned k = 0; k < num_classes_; ++k) {
+        const auto cls = static_cast<std::uint8_t>((rr + k) % num_classes_);
+        const std::size_t e = port_index(dst, cls);
+        auto& wait = rsp_wait_[e];
+        if (wait.empty()) continue;
+        const TileId responder = wait.front();
+        const std::size_t mp = port_index(responder, cls);
+        auto& master = rsp_master_[mp];
+        assert(!master.empty());
+        if (!master.front_ready(now)) continue;
+        assert(master.front().dst_tile == dst);
+        sink.deliver_rsp(master.pop(), now);
+        wait.pop();
+        if (wait.empty()) --rsp_wait_active_;
+        rsp_registered_[mp] = false;
+        register_rsp_head(responder, cls);
+        rsp_egress_rr_[dst] = (cls + 1) % num_classes_;
+        break;  // one beat per requester per cycle
+      }
     }
   }
+}
+
+Cycle HierNetwork::earliest_wakeup(Cycle now) const {
+  // Uncommitted staged effects become visible next commit — act this cycle.
+  if (deferred_ops_.load(std::memory_order_relaxed) != 0) return now;
+  Cycle wake = kNoCycle;
+  if (acks_active_ > 0) {
+    for (const auto& q : acks_) {
+      if (q.empty()) continue;
+      if (q.front().ready_at <= now) return now;
+      wake = std::min(wake, q.front().ready_at);
+    }
+  }
+  // For each active egress, FCFS means only the wait-list head's master port
+  // can move next; its head entry's ready time is exact (TimedQueue is
+  // in-order, so the head is the earliest of the whole pipe).
+  if (req_wait_active_ > 0) {
+    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+      for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
+        const auto& wait = req_wait_[port_index(dst, cls)];
+        if (wait.empty()) continue;
+        const Cycle r = req_master_[port_index(wait.front(), cls)].earliest_ready();
+        if (r <= now) return now;
+        wake = std::min(wake, r);
+      }
+    }
+  }
+  if (rsp_wait_active_ > 0) {
+    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+      for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
+        const auto& wait = rsp_wait_[port_index(dst, cls)];
+        if (wait.empty()) continue;
+        const Cycle r = rsp_master_[port_index(wait.front(), cls)].earliest_ready();
+        if (r <= now) return now;
+        wake = std::min(wake, r);
+      }
+    }
+  }
+  return wake;
 }
 
 bool HierNetwork::busy() const {

@@ -35,6 +35,7 @@
 // commit_deferred() themselves are serial-phase-only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -124,6 +125,18 @@ class HierNetwork {
   /// Any transaction still inside the network (drain check for barriers/tests).
   [[nodiscard]] bool busy() const;
 
+  /// Event-driven stepping (docs/ARCHITECTURE.md, EV1/EV3): earliest cycle at
+  /// which this component could act or change observable state, assuming no
+  /// new sends arrive — `now` when it has work this cycle, kNoCycle when it
+  /// is fully drained. In-flight pipe entries report their head's ready time
+  /// (FCFS: nothing behind a waitlist head can move before it). Requests
+  /// parked in slave queues and full-slave backpressure (the
+  /// egress_blocked_cycles counter) are intentionally NOT reported here: a
+  /// non-empty slave queue keeps the destination tile non-quiescent, so the
+  /// cluster never consults the network in those states (EV3 — some other
+  /// component stays awake).
+  [[nodiscard]] Cycle earliest_wakeup(Cycle now) const;
+
  private:
   [[nodiscard]] std::size_t port_index(TileId tile, std::uint8_t cls) const noexcept {
     return static_cast<std::size_t>(tile) * num_classes_ + cls;
@@ -186,6 +199,18 @@ class HierNetwork {
     ReqOwner owner = ReqOwner::kScalar;
   };
   std::vector<std::deque<AckEntry>> acks_;
+
+  // Activity counts so the per-cycle O(tiles x classes) egress scans and the
+  // quiescence/wakeup probes are O(1) when the network is idle — the common
+  // case during long compute or barrier-wait spans. req/rsp counts track
+  // non-empty wait-lists, acks the tiles with pending credits; all three are
+  // maintained only in the serial phases (cycle / commit_deferred). The
+  // staged-op count is bumped from parallel send_* calls, hence atomic; the
+  // phase-boundary join orders those bumps before the serial read.
+  std::size_t req_wait_active_ = 0;
+  std::size_t rsp_wait_active_ = 0;
+  std::size_t acks_active_ = 0;
+  std::atomic<std::size_t> deferred_ops_{0};
 
   // Statistics.
   Counter req_sent_;

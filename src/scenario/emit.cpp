@@ -43,6 +43,7 @@ std::vector<std::string> emit_suites(const ScenarioRegistry& reg,
   SweepOptions sweep;
   sweep.jobs = opts.jobs;
   sweep.sim_threads = opts.sim_threads;
+  sweep.stepping = opts.stepping;
   unsigned done = 0;
   if (opts.log != nullptr) {
     sweep.on_done = [&](const ScenarioResult& r) {

@@ -30,6 +30,9 @@ struct EmitOptions {
   /// Tile-parallel stepping threads per cluster (see SweepOptions);
   /// 0 keeps each spec's own setting. Emissions stay byte-identical.
   unsigned sim_threads = 0;
+  /// Stepping-mode override (see SweepOptions); unset keeps each spec's
+  /// setting. Emissions stay byte-identical in every mode.
+  std::optional<SteppingMode> stepping;
   /// Progress notes ("ran table1/... [i/n]") go here when set.
   std::ostream* log = nullptr;
 };

@@ -51,7 +51,8 @@ const PowerBreakdown& ResultSet::power(const std::string& rel) const {
   return r == nullptr ? kEmpty : r->power;
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_override) {
+ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_override,
+                            std::optional<SteppingMode> stepping_override) {
   ScenarioResult r;
   r.name = spec.name;
   r.rel = spec.rel();
@@ -60,9 +61,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_overr
     const std::unique_ptr<Kernel> kernel = spec.kernel();
     SimOptions sim = spec.opts.sim;
     if (sim_threads_override > 0) sim.sim_threads = sim_threads_override;
+    if (stepping_override) sim.stepping = *stepping_override;
     Cluster cluster(cfg, sim);
     r.metrics = run_kernel_on(cluster, *kernel, spec.opts);
     r.power = estimate_power(cluster, r.metrics.cycles, cfg.freq_tt_mhz);
+    r.sim_cycles_skipped = cluster.cycles_skipped();
     if (r.metrics.timed_out) {
       r.error = "timed out after " + std::to_string(r.metrics.cycles) + " cycles";
     } else if (spec.opts.verify && spec.expect_verified && !r.metrics.verified) {
@@ -83,7 +86,7 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>
 
   if (jobs <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      slots[i] = run_scenario(*specs[i], opts.sim_threads);
+      slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping);
       if (opts.on_done) opts.on_done(slots[i]);
     }
   } else {
@@ -93,7 +96,7 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= specs.size()) return;
-        slots[i] = run_scenario(*specs[i], opts.sim_threads);
+        slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping);
         if (opts.on_done) {
           const std::lock_guard<std::mutex> lock(done_mutex);
           opts.on_done(slots[i]);

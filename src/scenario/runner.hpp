@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,10 @@ struct SweepOptions {
   /// results are bit-identical at any setting, so this composes freely with
   /// `jobs` — it trades scenario-level for intra-scenario parallelism.
   unsigned sim_threads = 0;
+  /// Time-advance strategy override (tcdm_run --stepping). Unset keeps each
+  /// spec's SimOptions value (event-driven unless a caller changed it); set,
+  /// it applies to every scenario of the sweep. Bit-identical either way.
+  std::optional<SteppingMode> stepping;
   /// Progress callback, invoked as each scenario finishes (serialized; may
   /// be called from worker threads but never concurrently).
   std::function<void(const ScenarioResult&)> on_done;
@@ -29,9 +34,11 @@ struct SweepOptions {
 
 /// Run one scenario on a fresh cluster. Never throws: failures (exceptions,
 /// timeouts, failed expected verification) land in ScenarioResult::error.
-/// `sim_threads_override` > 0 replaces the spec's RunnerOptions sim_threads.
+/// `sim_threads_override` > 0 replaces the spec's RunnerOptions sim_threads;
+/// a set `stepping_override` replaces its stepping mode.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
-                                          unsigned sim_threads_override = 0);
+                                          unsigned sim_threads_override = 0,
+                                          std::optional<SteppingMode> stepping_override = {});
 
 /// Run every scenario in `specs` and collect results in the same order.
 /// The selection may span suites; group with group_by_suite for per-suite

@@ -32,6 +32,10 @@ struct ScenarioResult {
   KernelMetrics metrics;
   PowerBreakdown power;
   std::string error;
+  /// Quiet cycles the event-driven stepping loop jumped over (the cluster's
+  /// `sim.cycles_skipped` counter). Host-side diagnostics only — never part
+  /// of emitted metrics, so baselines stay byte-identical across modes.
+  double sim_cycles_skipped = 0.0;
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };

@@ -35,6 +35,17 @@ class CoreComplex {
   [[nodiscard]] bool halted() const noexcept { return snitch_.halted(); }
   [[nodiscard]] CoreId hartid() const noexcept { return hartid_; }
 
+  /// Event-driven stepping (docs/ARCHITECTURE.md, EV1–EV3): earliest cycle
+  /// at which this CC could change state absent external events, with any
+  /// per-cycle stall counters of the intervening quiet span declared into
+  /// `plan`. Both halves are consulted: even while the Snitch waits, Spatz
+  /// pipeline drains are timed events of this component.
+  [[nodiscard]] Cycle earliest_wakeup(Cycle now, SkipPlan& plan) const {
+    const Cycle ws = snitch_.earliest_wakeup(now, spatz_, barrier_, plan);
+    if (ws <= now) return now;
+    return std::min(ws, spatz_.earliest_wakeup(now, plan));
+  }
+
   // ---- response delivery ----
   void deliver_remote(const TcdmResp& rsp, Cycle now);
   void deliver_local(const BankResp& rsp, Cycle now);

@@ -142,6 +142,37 @@ bool Snitch::exec_vector(const Instr& i, Cycle now, SpatzFrontend& spatz) {
   return true;
 }
 
+Cycle Snitch::earliest_wakeup(Cycle now, const SpatzFrontend& spatz,
+                              const CentralBarrier& barrier, SkipPlan& plan) const {
+  if (halted_) return kNoCycle;
+  if (now < stall_until_) return stall_until_;  // exact: cycle() is a no-op until then
+  if (prog_ == nullptr) return now;
+  const Instr& i = prog_->at(pc_);
+  switch (i.op) {
+    case Opcode::kBarrier:
+      if (!barrier_arrived_) {
+        // Will arrive (a state change) as soon as the core's traffic drains;
+        // until then the only effect is the wait counter ticking (EV2).
+        if (drained() && spatz.fully_idle()) return now;
+        plan.add(barrier_wait_cycles_, 1.0);
+        return kNoCycle;  // woken by our own Spatz/network events (EV3)
+      }
+      if (barrier.generation() < barrier_target_gen_) {
+        plan.add(barrier_wait_cycles_, 1.0);
+        return kNoCycle;  // woken by the barrier's pending release
+      }
+      return now;
+    case Opcode::kHalt:
+      if (!(drained() && spatz.fully_idle())) {
+        plan.add(stall_mem_, 1.0);
+        return kNoCycle;  // woken by our own Spatz/network events (EV3)
+      }
+      return now;
+    default:
+      return now;  // conservative: active instructions step every cycle
+  }
+}
+
 void Snitch::cycle(Cycle now, TileServices& tile, SpatzFrontend& spatz,
                    CentralBarrier& barrier) {
   if (halted_ || now < stall_until_) return;

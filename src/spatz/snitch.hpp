@@ -44,6 +44,15 @@ class Snitch {
 
   void cycle(Cycle now, TileServices& tile, SpatzFrontend& spatz, CentralBarrier& barrier);
 
+  /// Event-driven stepping (docs/ARCHITECTURE.md, EV1/EV2): earliest cycle at
+  /// which cycle() could change state, absent external events. Barrier- and
+  /// drain-wait spans declare their per-cycle stall counters into `plan`.
+  /// Conservative by design: any actively-executing instruction reports
+  /// `now` (a too-early wakeup only forfeits a skip; a too-late one would be
+  /// a contract violation).
+  [[nodiscard]] Cycle earliest_wakeup(Cycle now, const SpatzFrontend& spatz,
+                                      const CentralBarrier& barrier, SkipPlan& plan) const;
+
   // ---- memory response delivery ----
   void fill_scalar(std::uint16_t id, Word data, Cycle now);
   void store_ack() {

@@ -52,6 +52,15 @@ class Spatz final : public SpatzFrontend, public VCompletionSink {
   // ---- VCompletionSink ----
   void vinstr_complete(unsigned slot) override;
 
+  /// Event-driven stepping (docs/ARCHITECTURE.md, EV1): earliest cycle any
+  /// pipeline stage could change state, absent external responses. A
+  /// non-empty VIQ issues (or counts a hazard stall) every cycle; otherwise
+  /// only the units' own timed events remain.
+  [[nodiscard]] Cycle earliest_wakeup(Cycle now, SkipPlan& plan) const {
+    if (!viq_.empty()) return now;
+    return std::min(vlsu_.earliest_wakeup(now), vfpu_.earliest_wakeup(now, plan));
+  }
+
   [[nodiscard]] Vlsu& vlsu() noexcept { return vlsu_; }
   [[nodiscard]] const Vlsu& vlsu() const noexcept { return vlsu_; }
   [[nodiscard]] Vfpu& vfpu() noexcept { return vfpu_; }

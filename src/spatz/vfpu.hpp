@@ -45,6 +45,21 @@ class Vfpu {
   [[nodiscard]] bool idle() const noexcept { return active_ < 0 && pipe_.empty(); }
   [[nodiscard]] double flops() const noexcept { return flops_.value(); }
 
+  /// Event-driven stepping (docs/ARCHITECTURE.md, EV1/EV2): the unit's next
+  /// state change is the pipeline head's completion and/or the end of a
+  /// reduction's lane occupancy; a busy reduction span declares its
+  /// busy_cycles counter rate into `plan`. Pipe entries are pushed with
+  /// monotonically non-decreasing `done`, so the head is the earliest.
+  [[nodiscard]] Cycle earliest_wakeup(Cycle now, SkipPlan& plan) const {
+    Cycle wake = pipe_.empty() ? kNoCycle : pipe_.front().done;
+    if (active_ >= 0) {
+      if (now >= busy_until_) return now;  // issuing (or chain-stalling) every cycle
+      plan.add(busy_cycles_, 1.0);
+      wake = std::min(wake, busy_until_);
+    }
+    return wake;
+  }
+
  private:
   struct PipeEntry {
     Cycle done = 0;

@@ -109,7 +109,6 @@ void Vlsu::issue(Cycle now, TileServices& tile, std::array<VInstr, kVInstrSlots>
       beat.stride_words =
           beat.strided_load ? static_cast<unsigned>(d.stride) / kWordBytes : 1;
       beat.unit_stride_store = d.op == Opcode::kVse32;
-      beat.words.reserve(n);
       for (unsigned j = 0; j < n; ++j) {
         const unsigned e = e0 + j;
         const unsigned p = e % ports_;

@@ -69,6 +69,19 @@ class Vlsu {
   /// Nothing active, staged, or outstanding (barrier / halt drain).
   [[nodiscard]] bool drained() const noexcept;
 
+  /// Event-driven stepping (docs/ARCHITECTURE.md, EV1/EV3): `now` whenever
+  /// issue()/retire() could act this cycle; kNoCycle when the unit can only
+  /// be advanced by an external response or store-ack delivery, which the
+  /// network or the local memory pipeline reports as its own event.
+  [[nodiscard]] Cycle earliest_wakeup(Cycle now) const {
+    if (active_ >= 0) return now;              // issues or counts a stall every cycle
+    if (!sender_.staging_empty()) return now;  // dispatch() drains staged routes
+    for (const auto& r : rob_) {
+      if (r.head_ready()) return now;  // retire() pops this head next cycle
+    }
+    return kNoCycle;
+  }
+
   [[nodiscard]] double words_loaded() const noexcept { return words_loaded_.value(); }
   [[nodiscard]] double words_stored() const noexcept { return words_stored_.value(); }
 

@@ -1,0 +1,254 @@
+// Event-driven stepping contract suite (docs/ARCHITECTURE.md): the
+// next-event skip loop must be bit-identical to the cycle-by-cycle
+// reference — same metrics, same statistics registry (apart from the sim.*
+// bookkeeping counters), same final TCDM memory image — across the
+// baseline/GF2/GF4 interconnects and at any sim_threads count, including
+// the deadlock-diagnostic and max-cycles-timeout exits. The kCrossCheck
+// mode is the suite's fault detector: a fabricated too-late
+// earliest_wakeup (exactly the bug class invariant EV1 forbids) must be
+// caught and reported by invariant name. The WorkerPool tests pin the
+// no-dispatch contract a skip jump relies on when it lands on a
+// near-empty cycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/cluster.hpp"
+#include "src/common/sim_time.hpp"
+#include "src/common/worker_pool.hpp"
+#include "src/kernels/dotp.hpp"
+#include "tests/support/test_support.hpp"
+
+namespace tcdm {
+namespace {
+
+using test::mp4_config;
+
+/// Registry snapshot without the sim.* bookkeeping counters — the only
+/// counters the stepping contract exempts from identity (the whole point
+/// of skipping is that cycles_simulated/cycles_skipped differ).
+std::vector<std::pair<std::string, double>> model_stats(const Cluster& c) {
+  std::vector<std::pair<std::string, double>> snap = c.stats().snapshot();
+  std::erase_if(snap, [](const auto& kv) { return kv.first.rfind("sim.", 0) == 0; });
+  return snap;
+}
+
+/// Full TCDM contents via the host backdoor.
+std::vector<Word> memory_image(const Cluster& c) {
+  std::vector<Word> img;
+  const std::uint64_t total = c.map().total_bytes();
+  img.reserve(total / kWordBytes);
+  for (Addr a = 0; a < total; a += kWordBytes) img.push_back(c.read_word(a));
+  return img;
+}
+
+struct ModeRun {
+  KernelMetrics metrics;
+  std::vector<std::pair<std::string, double>> stats;
+  std::vector<Word> memory;
+  double skipped = 0.0;
+  Cycle end_cycle = 0;
+};
+
+ModeRun run_dotp(const ClusterConfig& cfg, SteppingMode mode, unsigned sim_threads) {
+  DotpKernel k(1024, /*seed=*/7);
+  SimOptions sim;
+  sim.sim_threads = sim_threads;
+  sim.stepping = mode;
+  Cluster cluster(cfg, sim);
+  RunnerOptions opts;
+  ModeRun r;
+  r.metrics = run_kernel_on(cluster, k, opts);
+  r.stats = model_stats(cluster);
+  r.memory = memory_image(cluster);
+  r.skipped = cluster.cycles_skipped();
+  r.end_cycle = cluster.now();
+  return r;
+}
+
+void expect_identical_runs(const ModeRun& a, const ModeRun& b) {
+  EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+  EXPECT_EQ(a.metrics.flops, b.metrics.flops);
+  EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  EXPECT_EQ(a.metrics.fpu_util, b.metrics.fpu_util);
+  EXPECT_EQ(a.metrics.bw_bytes_per_cycle, b.metrics.bw_bytes_per_cycle);
+  EXPECT_EQ(a.metrics.verified, b.metrics.verified);
+  EXPECT_EQ(a.metrics.timed_out, b.metrics.timed_out);
+  EXPECT_EQ(a.end_cycle, b.end_cycle);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.memory, b.memory);
+}
+
+/// (grouping factor, sim_threads): the interconnect sweep crossed with
+/// serial and tile-parallel stepping — skipping must compose with both.
+using GfThreads = std::tuple<unsigned, unsigned>;
+using EventSkipSweep = ::testing::TestWithParam<GfThreads>;
+
+TEST_P(EventSkipSweep, EventDrivenRunIsBitIdenticalToCycleByCycle) {
+  const auto [gf, threads] = GetParam();
+  const ClusterConfig cfg = mp4_config(gf);
+  const ModeRun event = run_dotp(cfg, SteppingMode::kEventDriven, threads);
+  const ModeRun cycle = run_dotp(cfg, SteppingMode::kCycleByCycle, threads);
+  ASSERT_TRUE(event.metrics.verified);
+  expect_identical_runs(event, cycle);
+  // The workload has real quiet spans (barrier releases, drain tails): the
+  // skip loop must actually engage, and the reference loop never may.
+  EXPECT_GT(event.skipped, 0.0);
+  EXPECT_EQ(cycle.skipped, 0.0);
+}
+
+TEST_P(EventSkipSweep, CrossCheckModeValidatesEverySkipAndMatches) {
+  const auto [gf, threads] = GetParam();
+  const ClusterConfig cfg = mp4_config(gf);
+  // kCrossCheck steps every claimed-quiet span cycle by cycle, throwing on
+  // any EV1/EV2 violation — a clean completion is a proof that every skip
+  // the event mode would take is sound on this workload.
+  const ModeRun check = run_dotp(cfg, SteppingMode::kCrossCheck, threads);
+  const ModeRun cycle = run_dotp(cfg, SteppingMode::kCycleByCycle, threads);
+  ASSERT_TRUE(check.metrics.verified);
+  expect_identical_runs(check, cycle);
+  EXPECT_EQ(check.skipped, 0.0);  // check mode verifies skips, never takes them
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BurstByThreads, EventSkipSweep,
+    ::testing::Combine(::testing::Values(0u, 2u, 4u), ::testing::Values(1u, 4u)),
+    [](const ::testing::TestParamInfo<GfThreads>& info) {
+      const unsigned gf = std::get<0>(info.param);
+      const unsigned threads = std::get<1>(info.param);
+      return (gf == 0 ? std::string("baseline") : "gf" + std::to_string(gf)) +
+             "_threads" + std::to_string(threads);
+    });
+
+TEST(EventSkip, TooLateWakeupIsCaughtByCrossCheck) {
+  // Fabricate exactly the bug the wakeup contract forbids: every computed
+  // next-event cycle reported one cycle too late (a component's
+  // earliest_wakeup missing a state change). kCrossCheck must refuse the
+  // very first biased skip and name the violated ARCHITECTURE.md invariant.
+  DotpKernel k(1024, /*seed=*/7);
+  SimOptions sim;
+  sim.stepping = SteppingMode::kCrossCheck;
+  Cluster cluster(mp4_config(), sim);
+  cluster.debug_set_wakeup_bias(1);
+  try {
+    (void)run_kernel_on(cluster, k, RunnerOptions{});
+    FAIL() << "biased wakeup was not detected";
+  } catch (const WakeupContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("EV"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("docs/ARCHITECTURE.md"), std::string::npos) << msg;
+  }
+}
+
+TEST(EventSkip, DeadlockFiresAtTheReferenceCycle) {
+  // hart 0 halts, the rest wait on a barrier that can never complete. The
+  // whole wait is one long quiet span, but the skip loop must never jump
+  // past the watchdog deadline: the DeadlockError has to fire at the exact
+  // cycle — and with the exact message — of the reference loop.
+  const auto deadlock = [](SteppingMode mode) {
+    SimOptions sim;
+    sim.stepping = mode;
+    Cluster cluster(mp4_config(), sim);
+    cluster.set_watchdog_window(2000);
+    std::vector<Program> programs;
+    ProgramBuilder skip("skip");
+    skip.halt();
+    programs.push_back(skip.build());
+    for (unsigned h = 1; h < cluster.config().num_cores(); ++h) {
+      ProgramBuilder w("wait");
+      w.barrier();
+      w.halt();
+      programs.push_back(w.build());
+    }
+    cluster.load_programs(std::move(programs));
+    std::string message;
+    try {
+      (void)cluster.run(1'000'000);
+    } catch (const DeadlockError& e) {
+      message = e.what();
+    }
+    return std::make_tuple(message, cluster.now(), cluster.cycles_skipped(),
+                           model_stats(cluster));
+  };
+  const auto event = deadlock(SteppingMode::kEventDriven);
+  const auto cycle = deadlock(SteppingMode::kCycleByCycle);
+  EXPECT_FALSE(std::get<0>(event).empty());
+  EXPECT_EQ(std::get<0>(event), std::get<0>(cycle));
+  EXPECT_EQ(std::get<1>(event), std::get<1>(cycle));
+  EXPECT_EQ(std::get<3>(event), std::get<3>(cycle));
+  // The diagnostic wait itself must have been skipped, not stepped: this is
+  // where event-driven stepping buys its order of magnitude.
+  EXPECT_GT(std::get<2>(event), 0.0);
+  EXPECT_EQ(std::get<2>(cycle), 0.0);
+}
+
+TEST(EventSkip, MaxCyclesTimeoutIsCycleIdentical) {
+  // A barrier wait that outlives the caller's budget (watchdog disabled by
+  // a huge window): the skip loop must stop exactly at the budget like the
+  // reference loop, with identical counters for the capped quiet span.
+  const auto timeout = [](SteppingMode mode) {
+    SimOptions sim;
+    sim.stepping = mode;
+    Cluster cluster(mp4_config(), sim);
+    cluster.set_watchdog_window(10'000'000);
+    std::vector<Program> programs;
+    ProgramBuilder skip("skip");
+    skip.halt();
+    programs.push_back(skip.build());
+    for (unsigned h = 1; h < cluster.config().num_cores(); ++h) {
+      ProgramBuilder w("wait");
+      w.barrier();
+      w.halt();
+      programs.push_back(w.build());
+    }
+    cluster.load_programs(std::move(programs));
+    const RunOutcome out = cluster.run(/*max_cycles=*/20'000);
+    return std::make_tuple(out.cycles, out.all_halted, cluster.now(),
+                           cluster.cycles_skipped(), model_stats(cluster));
+  };
+  const auto event = timeout(SteppingMode::kEventDriven);
+  const auto cycle = timeout(SteppingMode::kCycleByCycle);
+  EXPECT_FALSE(std::get<1>(event));
+  EXPECT_EQ(std::get<0>(event), std::get<0>(cycle));
+  EXPECT_EQ(std::get<1>(event), std::get<1>(cycle));
+  EXPECT_EQ(std::get<2>(event), std::get<2>(cycle));
+  EXPECT_EQ(std::get<4>(event), std::get<4>(cycle));
+  EXPECT_GT(std::get<3>(event), 0.0);
+}
+
+TEST(WorkerPoolEpochs, EmptyAndSingleItemPhasesNeverWakeWorkers) {
+  // The contract the skip loop depends on: landing on a cycle where zero or
+  // one tiles have work must not publish an epoch (workers stay parked, no
+  // futex round-trip, nothing to re-park after the jump).
+  WorkerPool pool(4);
+  ASSERT_EQ(pool.epochs_dispatched(), 0u);
+  int inline_calls = 0;
+  pool.parallel_for(0, [&](unsigned) { ++inline_calls; });
+  EXPECT_EQ(inline_calls, 0);
+  EXPECT_EQ(pool.epochs_dispatched(), 0u);
+  pool.parallel_for(1, [&](unsigned) { ++inline_calls; });
+  EXPECT_EQ(inline_calls, 1);
+  EXPECT_EQ(pool.epochs_dispatched(), 0u);
+}
+
+TEST(WorkerPoolEpochs, MultiItemPhasesDispatchAndStillCompleteAfterIdle) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  pool.parallel_for(3, [&](unsigned) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 3);
+  const std::uint64_t first = pool.epochs_dispatched();
+  EXPECT_GT(first, 0u);
+  // Interleave inline phases (a skip landing on near-empty cycles) with a
+  // full dispatch: the pool must re-wake cleanly after staying parked.
+  pool.parallel_for(1, [&](unsigned) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(pool.epochs_dispatched(), first);
+  pool.parallel_for(8, [&](unsigned) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 12);
+  EXPECT_GT(pool.epochs_dispatched(), first);
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -4,16 +4,16 @@
 // requires a new binary.
 //
 //   tcdm_run list [--file F]... [glob...]      list suites and scenarios
-//   tcdm_run run [-j N] [--sim-threads N] [--file F]... [--no-builtin]
-//                [glob...]                     run a selection; print tables
-//   tcdm_run emit [-j N] [--sim-threads N] [--file F]... [--no-builtin]
-//                 --out <dir> (--all | suite|glob...)
+//   tcdm_run run [-j N] [--sim-threads N] [--stepping M] [--file F]...
+//                [--no-builtin] [glob...]      run a selection; print tables
+//   tcdm_run emit [-j N] [--sim-threads N] [--stepping M] [--file F]...
+//                 [--no-builtin] --out <dir> (--all | suite|glob...)
 //                                              sweep suites, write <dir>/<suite>.json
 //   tcdm_run validate [file...|-]              load + expand + validate suite
 //                                              files (default: stdin)
 //   tcdm_run gen --seed N --count K [--out F]  emit a randomized, invariant-
 //                                              checked suite file (stdout)
-//   tcdm_run explore [-j N] [--sim-threads N] [--objective NAME]
+//   tcdm_run explore [-j N] [--sim-threads N] [--stepping M] [--objective NAME]
 //                    [--area-cap MGE] [--budget N] [--cache F] [--state F]
 //                    [--resume] [--no-prune] [--report F] [--stats-out F]
 //                    [--fail-after N] <suite.json>
@@ -28,7 +28,10 @@
 // scenario names (`*` crosses `/`). Parallel runs (-j) produce
 // byte-identical emissions and stdout tables to serial ones; --sim-threads
 // additionally parallelizes each cluster's cycle loop (bit-identical at
-// any count; 0 = hardware concurrency).
+// any count; 0 = hardware concurrency). `--stepping event|cycle|check`
+// selects how each cluster advances time (event-driven skipping, the
+// cycle-by-cycle reference loop, or the self-verifying cross-check mode —
+// all bit-identical; see docs/ARCHITECTURE.md).
 // Exit codes: 0 ok, 1 scenario/validation failure or empty selection,
 // 2 usage/IO errors (including unknown subcommands and corrupt explore
 // cache/checkpoint files), 3 injected --fail-after abort.
@@ -37,6 +40,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -57,15 +61,20 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s list [--file F]... [glob...]\n"
-      "       %s run [-j N] [--sim-threads N] [--file F]... [--no-builtin] [glob...]\n"
-      "       %s emit [-j N] [--sim-threads N] [--file F]... [--no-builtin]\n"
-      "            --out <dir> (--all | suite|glob...)\n"
+      "       %s run [-j N] [--sim-threads N] [--stepping M] [--file F]...\n"
+      "            [--no-builtin] [glob...]\n"
+      "       %s emit [-j N] [--sim-threads N] [--stepping M] [--file F]...\n"
+      "            [--no-builtin] --out <dir> (--all | suite|glob...)\n"
       "       %s validate [file...|-]\n"
       "       %s gen [--seed N] [--count K] [--out <file>]\n"
-      "       %s explore [-j N] [--sim-threads N] [--objective NAME]\n"
+      "       %s explore [-j N] [--sim-threads N] [--stepping M] [--objective NAME]\n"
       "            [--area-cap MGE] [--budget N] [--cache F] [--state F]\n"
       "            [--resume] [--no-prune] [--report F] [--stats-out F]\n"
-      "            [--fail-after N] <suite.json>\n",
+      "            [--fail-after N] <suite.json>\n"
+      "\n"
+      "  --stepping M   time advance per cluster: event (skip quiet spans,\n"
+      "                 default), cycle (reference loop), check (skip decisions\n"
+      "                 verified cycle-by-cycle). All modes are bit-identical.\n",
       argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -75,9 +84,24 @@ int usage(const char* argv0) {
 struct CommonOptions {
   unsigned jobs = 1;
   unsigned sim_threads = 0;
+  std::optional<SteppingMode> stepping;  // unset = per-spec (event-driven)
   std::vector<std::string> files;
   bool no_builtin = false;
 };
+
+/// --stepping values; `check` maps to the self-verifying kCrossCheck mode.
+bool parse_stepping(const std::string& value, std::optional<SteppingMode>& out) {
+  if (value == "event") {
+    out = SteppingMode::kEventDriven;
+  } else if (value == "cycle") {
+    out = SteppingMode::kCycleByCycle;
+  } else if (value == "check") {
+    out = SteppingMode::kCrossCheck;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 /// Parses the common flags out of `args`; returns false on a malformed or
 /// valueless flag (caller prints usage).
@@ -100,6 +124,13 @@ bool parse_common(std::vector<std::string>& args, CommonOptions& opts) {
     } else if (args[i].rfind("--sim-threads=", 0) == 0) {
       value = args[i].substr(14);
       out = &opts.sim_threads;
+    } else if (args[i] == "--stepping") {
+      if (i + 1 >= args.size() || !parse_stepping(args[i + 1], opts.stepping)) return false;
+      ++i;
+      continue;
+    } else if (args[i].rfind("--stepping=", 0) == 0) {
+      if (!parse_stepping(args[i].substr(11), opts.stepping)) return false;
+      continue;
     } else if (args[i] == "--file") {
       if (i + 1 >= args.size()) return false;
       opts.files.push_back(args[++i]);
@@ -211,6 +242,7 @@ int cmd_run(const char* argv0, std::vector<std::string> args) {
   SweepOptions opts;
   opts.jobs = copts.jobs;
   opts.sim_threads = copts.sim_threads;
+  opts.stepping = copts.stepping;
   unsigned done = 0;
   opts.on_done = [&](const ScenarioResult& r) {
     ++done;
@@ -227,8 +259,8 @@ int cmd_run(const char* argv0, std::vector<std::string> args) {
   // Suites whose every registered scenario ran get their paper table; a
   // partial selection (and every file suite, which has no custom printer)
   // gets a compact per-scenario metrics table instead.
-  TableWriter partial({"scenario", "cycles", "BW [B/cyc/core]", "GFLOPS@ss",
-                       "FPU util", "ok"});
+  TableWriter partial({"scenario", "cycles", "skipped", "BW [B/cyc/core]",
+                       "GFLOPS@ss", "FPU util", "ok"});
   bool any_partial = false;
   for (auto& [suite_name, set] : group_by_suite(std::move(results))) {
     const SuiteSpec& suite = reg.suite(suite_name);
@@ -238,6 +270,7 @@ int cmd_run(const char* argv0, std::vector<std::string> args) {
     }
     for (const ScenarioResult& r : set.all()) {
       partial.add_row({r.name, std::to_string(r.metrics.cycles),
+                       std::to_string(static_cast<unsigned long long>(r.sim_cycles_skipped)),
                        fmt(r.metrics.bw_per_core), fmt(r.metrics.gflops_ss),
                        pct(r.metrics.fpu_util), r.ok() ? "OK" : "FAIL: " + r.error});
       any_partial = true;
@@ -309,6 +342,7 @@ int cmd_emit(const char* argv0, std::vector<std::string> args) {
   opts.out_dir = out_dir;
   opts.jobs = copts.jobs;
   opts.sim_threads = copts.sim_threads;
+  opts.stepping = copts.stepping;
   opts.log = &std::cerr;
   try {
     (void)emit_suites(reg, suites, opts);
@@ -439,6 +473,7 @@ int cmd_explore(const char* argv0, std::vector<std::string> args) {
   explore::ExploreOptions eopts;
   eopts.jobs = copts.jobs;
   eopts.sim_threads = copts.sim_threads;
+  eopts.stepping = copts.stepping;
   eopts.log = &std::cerr;
   std::string report_path;
   std::string stats_path;
