@@ -1,0 +1,45 @@
+# CTest script: end-to-end smoke of `tcdm_run bench`. Runs a cheap suite
+# for two repetitions, then checks the exit code and that the --out file is
+# a versioned tcdm-perf document carrying the benchmarked suite. The bench
+# repetitions themselves double as a reset-reuse determinism gate (bench
+# exits 1 if cycle counts diverge between repetitions).
+#
+# Variables (passed with -D):
+#   TCDM_RUN  path to the tcdm_run binary
+#   SUITE     suite name to benchmark
+#   OUT_FILE  where the tcdm-perf JSON goes
+
+foreach(var TCDM_RUN SUITE OUT_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${TCDM_RUN}" bench --reps 2 --out "${OUT_FILE}" "${SUITE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tcdm_run bench failed (exit ${rc}):\n${out}${err}")
+endif()
+
+if(NOT EXISTS "${OUT_FILE}")
+  message(FATAL_ERROR "bench did not write ${OUT_FILE}")
+endif()
+file(READ "${OUT_FILE}" report)
+foreach(needle "\"format\": \"tcdm-perf\"" "\"version\": 1" "\"suite\": \"${SUITE}\""
+               "\"best_wall_s\"" "\"cycles_per_sec\"")
+  string(FIND "${report}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "tcdm-perf report is missing '${needle}'\n--- report ---\n${report}")
+  endif()
+endforeach()
+
+# The stdout table is the human half of the contract.
+string(FIND "${out}" "${SUITE}" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "bench table does not mention ${SUITE}:\n${out}")
+endif()
+message(STATUS "bench smoke OK: ${OUT_FILE} is a well-formed tcdm-perf report")

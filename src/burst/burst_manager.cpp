@@ -10,6 +10,9 @@ BurstManager::BurstManager(const BurstManagerConfig& cfg, const AddressMap& map,
     : cfg_(cfg), map_(map), tile_(tile), pending_(cfg.fifo_depth), slots_(cfg.merge_slots) {
   assert(cfg_.grouping_factor >= 1 && cfg_.grouping_factor <= kMaxGroupingFactor);
   assert(cfg_.merge_slots >= 1);
+  free_map_.init(slots_.size());
+  ready_map_.init(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) free_map_.set(i);
 }
 
 void BurstManager::attach_stats(StatsRegistry& reg, const std::string& prefix) {
@@ -35,10 +38,8 @@ bool BurstManager::try_accept(const TcdmReq& req) {
 }
 
 std::int16_t BurstManager::alloc_slot() {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].state == SlotState::kFree) return static_cast<std::int16_t>(i);
-  }
-  return -1;
+  // Lowest free slot, exactly as the former linear scan chose it.
+  return static_cast<std::int16_t>(free_map_.first_set_at_or_after(0));
 }
 
 void BurstManager::issue(std::vector<SpmBank>& banks) {
@@ -89,6 +90,8 @@ void BurstManager::issue(std::vector<SpmBank>& banks) {
             cfg_.grouping_factor - bank_in_tile % cfg_.grouping_factor;
         const unsigned seg_room = (room_banks + stride - 1) / stride;
         ms.state = SlotState::kFilling;
+        free_map_.clear(static_cast<std::size_t>(slot));
+        ++used_slots_;
         ms.requester = ab.req.src_tile;
         ms.burst_id = ab.req.tag.id;
         ms.first_offset = static_cast<std::uint8_t>(ab.next_word);
@@ -122,18 +125,20 @@ void BurstManager::fill(const BankRoute& route, Word data) {
   const unsigned idx = route.word_offset - ms.first_offset;
   assert(idx < ms.expected);
   ms.data[idx] = data;
-  if (++ms.received == ms.expected) ms.state = SlotState::kReady;
+  if (++ms.received == ms.expected) {
+    ms.state = SlotState::kReady;
+    ready_map_.set(route.seg);
+  }
 }
 
 std::optional<unsigned> BurstManager::next_ready_slot() {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    const unsigned idx = static_cast<unsigned>((rr_ + i) % slots_.size());
-    if (slots_[idx].state == SlotState::kReady) {
-      rr_ = (idx + 1) % static_cast<unsigned>(slots_.size());
-      return idx;
-    }
-  }
-  return std::nullopt;
+  // First ready slot at or after rr_, wrapping — the same rotation the
+  // former linear scan produced, in O(bitmap words).
+  int idx = ready_map_.first_set_at_or_after(rr_);
+  if (idx < 0) idx = ready_map_.first_set_at_or_after(0);
+  if (idx < 0) return std::nullopt;
+  rr_ = (static_cast<unsigned>(idx) + 1) % static_cast<unsigned>(slots_.size());
+  return static_cast<unsigned>(idx);
 }
 
 TileId BurstManager::slot_requester(unsigned idx) const {
@@ -152,6 +157,9 @@ TcdmResp BurstManager::take_beat(unsigned idx) {
   resp.tag.id = ms.burst_id;
   resp.tag.word_offset = ms.first_offset;
   ms = MergeSlot{};  // free
+  ready_map_.clear(idx);
+  free_map_.set(idx);
+  --used_slots_;
   beats_merged_.inc();
   return resp;
 }
@@ -162,12 +170,14 @@ void BurstManager::defer_slot(unsigned idx) {
   (void)idx;
 }
 
-bool BurstManager::busy() const noexcept {
-  if (!pending_.empty()) return true;
-  for (const MergeSlot& ms : slots_) {
-    if (ms.state != SlotState::kFree) return true;
-  }
-  return false;
+void BurstManager::reset() {
+  pending_.clear();
+  for (MergeSlot& ms : slots_) ms = MergeSlot{};
+  rr_ = 0;
+  used_slots_ = 0;
+  ready_map_.clear_all();
+  free_map_.clear_all();
+  for (std::size_t i = 0; i < slots_.size(); ++i) free_map_.set(i);
 }
 
 }  // namespace tcdm

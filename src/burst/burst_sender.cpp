@@ -4,18 +4,36 @@
 
 namespace tcdm {
 
+namespace {
+std::size_t staging_capacity_items(const BurstSenderConfig& cfg, unsigned num_ports) {
+  // can_accept_beat() is checked before staging a beat of up to K words.
+  return static_cast<std::size_t>(cfg.staging_beats > 0 ? cfg.staging_beats - 1 : 0) *
+         num_ports;
+}
+}  // namespace
+
 BurstSender::BurstSender(const BurstSenderConfig& cfg, unsigned num_ports)
-    : cfg_(cfg), num_ports_(num_ports), table_(cfg.table_size) {
+    : cfg_(cfg),
+      num_ports_(num_ports),
+      capacity_items_(staging_capacity_items(cfg, num_ports)),
+      staging_(staging_capacity_items(cfg, num_ports) + kMaxPorts),
+      table_(cfg.table_size) {
   assert(num_ports_ >= 1);
   assert(cfg_.max_burst_len <= kMaxBurstLen);
-  // can_accept_beat() is checked before staging a beat of up to K words.
-  capacity_items_ =
-      static_cast<std::size_t>(cfg_.staging_beats > 0 ? cfg_.staging_beats - 1 : 0) *
-      num_ports_;
   free_ids_.reserve(cfg_.table_size);
   for (unsigned i = 0; i < cfg_.table_size; ++i) {
     free_ids_.push_back(cfg_.table_size - 1 - i);
   }
+}
+
+void BurstSender::reset() {
+  staging_.clear();
+  for (TableEntry& e : table_) e = TableEntry{};
+  free_ids_.clear();
+  for (unsigned i = 0; i < cfg_.table_size; ++i) {
+    free_ids_.push_back(cfg_.table_size - 1 - i);
+  }
+  live_bursts_ = 0;
 }
 
 void BurstSender::attach_stats(StatsRegistry& reg, const std::string& prefix) {
@@ -65,11 +83,16 @@ bool BurstSender::try_extend_tail(const WordRequest* run, unsigned n, Addr base,
 bool BurstSender::accept_beat(const BeatRequest& beat, const AddressMap& map,
                               TileId home_tile) {
   assert(can_accept_beat());
-  const auto push_narrow = [this](const WordRequest& w) {
+  const auto push_staged = [this](const PendingItem& item) {
+    const bool ok = staging_.try_push(item);
+    assert(ok && "BurstSender staging capacity bound violated");
+    (void)ok;
+  };
+  const auto push_narrow = [&push_staged](const WordRequest& w) {
     PendingItem item;
     item.is_burst = false;
     item.word = w;
-    staging_.push_back(item);
+    push_staged(item);
   };
 
   // A 1-word-stride vlse32 is semantically a vle32; the extension detects
@@ -95,10 +118,11 @@ bool BurstSender::accept_beat(const BeatRequest& beat, const AddressMap& map,
   bool split_seen = false;
   while (i < n) {
     const Addr base = beat.words[i].addr;
-    const TileId dst = map.tile_of(base);
+    const DecodedAddr dec = map.decode(base);
+    const TileId dst = dec.tile;
     std::size_t run = 1;
     while (i + run < n && run < cfg_.max_burst_len &&
-           map.bank_in_tile(base) + run * stride < map.banks_per_tile()) {
+           dec.bank_in_tile + run * stride < map.banks_per_tile()) {
       assert(beat.words[i + run].addr == base + run * stride * kWordBytes);
       ++run;
     }
@@ -121,7 +145,7 @@ bool BurstSender::accept_beat(const BeatRequest& beat, const AddressMap& map,
       item.stride = 1;
       item.dst_tile = dst;
       for (std::size_t j = 0; j < run; ++j) item.wdata[j] = beat.words[i + j].wdata;
-      staging_.push_back(item);
+      push_staged(item);
     } else {
       const auto id = alloc_burst();
       if (!id.has_value()) {
@@ -143,7 +167,7 @@ bool BurstSender::accept_beat(const BeatRequest& beat, const AddressMap& map,
         item.stride = static_cast<std::uint8_t>(stride);
         item.burst_id = *id;
         item.dst_tile = dst;
-        staging_.push_back(item);
+        push_staged(item);
       }
     }
     i += run;
@@ -162,21 +186,27 @@ void BurstSender::dispatch(Cycle now, TileServices& tile) {
   // busy stay for the next cycle. Later items may bypass blocked ones (the
   // per-port ROBs make retirement order-independent; kernels never issue
   // overlapping same-address accesses inside this small window).
-  for (auto it = staging_.begin(); it != staging_.end();) {
+  // Pop-and-requeue over the ring: unsent items keep their relative order,
+  // exactly like the old deque middle-erase, without its element shuffling.
+  const std::size_t staged = staging_.size();
+  for (std::size_t k = 0; k < staged; ++k) {
+    PendingItem item = staging_.pop();
+    const PendingItem* it = &item;
     bool sent = false;
     if (!it->is_burst) {
       const WordRequest& w = it->word;
-      const TileId dst = map.tile_of(w.addr);
+      const DecodedAddr dec = map.decode(w.addr);
+      const TileId dst = dec.tile;
       if (dst == home) {
         BankReq br;
-        br.row = map.row_of(w.addr);
+        br.row = dec.row;
         br.write = w.write;
         br.wdata = w.wdata;
         br.route.kind = RouteKind::kLocalVector;
         br.route.port = w.port;
         br.route.rob_slot = w.rob_slot;
         br.route.src_tile = home;
-        if (tile.try_local_push(map.bank_in_tile(w.addr), br)) {
+        if (tile.try_local_push(dec.bank_in_tile, br)) {
           local_words_.inc();
           sent = true;
         }
@@ -217,7 +247,11 @@ void BurstSender::dispatch(Cycle now, TileServices& tile) {
         sent = true;
       }
     }
-    it = sent ? staging_.erase(it) : std::next(it);
+    if (!sent) {
+      const bool ok = staging_.try_push(std::move(item));
+      assert(ok);
+      (void)ok;
+    }
   }
 }
 

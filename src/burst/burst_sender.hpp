@@ -24,11 +24,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/bounded_queue.hpp"
 #include "src/common/inline_vec.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/types.hpp"
@@ -112,6 +112,9 @@ class BurstSender {
   [[nodiscard]] bool busy() const noexcept { return !staging_.empty() || live_bursts_ != 0; }
   [[nodiscard]] bool staging_empty() const noexcept { return staging_.empty(); }
 
+  /// Back to the just-constructed state (empty staging, all burst ids free).
+  void reset();
+
  private:
   struct PendingItem {
     bool is_burst = false;
@@ -144,7 +147,12 @@ class BurstSender {
   BurstSenderConfig cfg_;
   unsigned num_ports_;
   std::size_t capacity_items_;
-  std::deque<PendingItem> staging_;
+  // Ring, not deque: can_accept_beat() admits a beat only while
+  // size() <= capacity_items_, and one beat stages at most kMaxPorts items,
+  // so occupancy never exceeds capacity_items_ + kMaxPorts (ring capacity,
+  // asserted on push). dispatch() pops the whole ring and re-pushes unsent
+  // items, which preserves relative order exactly like the old middle-erase.
+  BoundedQueue<PendingItem> staging_;
   std::vector<TableEntry> table_;
   std::vector<std::uint32_t> free_ids_;
   unsigned live_bursts_ = 0;

@@ -54,6 +54,15 @@ class CentralBarrier {
   [[nodiscard]] bool release_pending() const noexcept { return release_pending_; }
   [[nodiscard]] Cycle release_at() const noexcept { return release_at_; }
 
+  /// Back to the just-constructed state (generation 0, nobody arrived);
+  /// cluster reuse only (docs/ARCHITECTURE.md, P2), serial context.
+  void reset() {
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_ = 0;
+    release_pending_ = false;
+    release_at_ = 0;
+  }
+
  private:
   unsigned num_cores_;
   unsigned release_latency_;

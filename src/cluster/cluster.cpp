@@ -101,6 +101,26 @@ std::vector<float> Cluster::read_block_f32(Addr addr, std::size_t count) const {
   return out;
 }
 
+void Cluster::reset() {
+  clock_.reset();
+  watchdog_.set_window(100'000);  // ctor default; undo set_watchdog_window
+  watchdog_.note_progress(0);
+  stats_.reset();  // zero every slot; Counter handles remain valid
+  barrier_.reset();
+  net_->reset();
+  for (auto& tile : tiles_) tile->reset();
+  programs_.clear();
+  last_progress_token_ = -1.0;
+  plan_.clear();
+  active_tiles_.clear();
+  scan_hint_ = 0;
+  mem_phase_active_ = false;
+  wakeup_bias_ = 0;
+  xc_expected_.clear();
+  xc_after_.clear();
+  xc_slots_.clear();
+}
+
 void Cluster::deliver_rsp(const TcdmResp& rsp, Cycle now) {
   tiles_.at(rsp.dst_tile)->cc().deliver_remote(rsp, now);
 }

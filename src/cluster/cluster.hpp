@@ -96,6 +96,16 @@ class Cluster final : public RspSink {
   [[nodiscard]] std::vector<float> read_block_f32(Addr addr, std::size_t count) const;
 
   // ---- simulation ----
+  /// Return the cluster to its just-constructed state without reallocating
+  /// any of it: clock at 0, all statistics zeroed (Counter handles stay
+  /// valid), TCDM zero-filled, every queue/ring/pipeline empty, no program
+  /// attached. After reset() + load_program() + preloads, a run is
+  /// bit-identical to one on a freshly constructed Cluster with the same
+  /// config and SimOptions (docs/ARCHITECTURE.md, P2). Runners reuse one
+  /// cluster per config shape through this entry point instead of paying
+  /// construction per scenario.
+  void reset();
+
   /// Advance one cycle; returns true when every hart has halted.
   bool step();
   /// Run to completion (all harts halted) or `max_cycles`; throws

@@ -22,6 +22,7 @@ Tile::Tile(const ClusterConfig& cfg, TileId id, HierNetwork& net, const AddressM
   for (unsigned b = 0; b < cfg.banks_per_tile; ++b) {
     banks_.emplace_back(cfg.bank_words, cfg.bank_in_depth, cfg.bank_out_depth);
     banks_.back().attach_stats(stats, prefix + ".bank" + std::to_string(b));
+    banks_.back().attach_busy_counter(&busy_banks_);
   }
   bm_.attach_stats(stats, prefix + ".bm");
   cc_ = std::make_unique<CoreComplex>(cfg.core_config(), id, cfg.num_cores(), barrier);
@@ -44,9 +45,10 @@ void Tile::accept_slave_requests(Cycle now) {
       if (bm_.try_accept(req)) (void)net_.slave_pop(id_, cls);
       continue;
     }
-    // Narrow remote request: straight to its bank.
+    // Narrow remote request: straight to its bank (one combined decode).
+    const DecodedAddr dec = map_.decode(req.addr);
     BankReq br;
-    br.row = map_.row_of(req.addr);
+    br.row = dec.row;
     br.write = req.write;
     br.amo_add = req.amo_add;
     br.wdata = req.wdata;
@@ -56,7 +58,7 @@ void Tile::accept_slave_requests(Cycle now) {
     br.route.rob_slot = req.tag.rob_slot;
     br.route.id = req.tag.id;
     br.route.src_tile = req.src_tile;
-    if (banks_[map_.bank_in_tile(req.addr)].try_push(br)) {
+    if (banks_[dec.bank_in_tile].try_push(br)) {
       (void)net_.slave_pop(id_, cls);
     }
   }
@@ -112,6 +114,7 @@ void Tile::emit_burst_beats(Cycle now) {
   // Each completed merge slot becomes one wide beat on its response port.
   // A blocked class only defers its own slots.
   const unsigned max_attempts = 64;
+  unsigned consecutive_defers = 0;
   for (unsigned i = 0; i < max_attempts; ++i) {
     const auto slot = bm_.next_ready_slot();
     if (!slot.has_value()) return;
@@ -119,8 +122,18 @@ void Tile::emit_burst_beats(Cycle now) {
     const std::uint8_t cls = net_.topology().class_of(id_, requester);
     if (net_.can_send_rsp(id_, cls, now)) {
       net_.send_rsp(id_, bm_.take_beat(*slot), now);
+      consecutive_defers = 0;
     } else {
       bm_.defer_slot(*slot);  // its class port is busy; other classes go on
+      // A class blocked at cycle `now` stays blocked for the rest of this
+      // call (sends only push free_at further out), and the ready set only
+      // shrinks on sends — so a full no-send pass over the ready slots
+      // proves every remaining attempt would defer too. Collapse that tail
+      // into the equivalent rr_ rotation (identical future arbitration).
+      if (++consecutive_defers >= bm_.ready_count()) {
+        bm_.skip_rotation((max_attempts - 1 - i) % consecutive_defers);
+        return;
+      }
     }
   }
 }
@@ -128,7 +141,9 @@ void Tile::emit_burst_beats(Cycle now) {
 void Tile::cycle_memory(Cycle now) {
   accept_slave_requests(now);
   bm_.issue(banks_);
-  for (SpmBank& bank : banks_) bank.cycle();
+  for (SpmBank& bank : banks_) {
+    if (bank.has_request()) bank.cycle();  // cycle() is a no-op otherwise
+  }
   // Alternate response priority between narrow bank traffic and merged
   // burst beats so neither starves the shared response ports. Odd/even on
   // the cycle number, so skipped quiescent cycles keep the alternation.
@@ -142,10 +157,10 @@ void Tile::cycle_memory(Cycle now) {
 }
 
 bool Tile::memory_busy() const {
-  for (const SpmBank& bank : banks_) {
-    if (bank.busy()) return true;
-  }
-  return bm_.busy();
+  // busy_banks_ is maintained by the banks themselves on their idle<->busy
+  // transitions, so this probe (run for every tile every cycle) touches no
+  // bank state.
+  return busy_banks_ != 0 || bm_.busy();
 }
 
 bool Tile::memory_quiescent() const {
@@ -155,6 +170,13 @@ bool Tile::memory_quiescent() const {
     if (!net_.slave_empty(id_, cls)) return false;
   }
   return true;
+}
+
+void Tile::reset() {
+  for (SpmBank& bank : banks_) bank.reset();
+  busy_banks_ = 0;
+  bm_.reset();
+  cc_->reset();
 }
 
 }  // namespace tcdm

@@ -39,6 +39,11 @@ class Tile final : public TileServices {
   /// counts, precisely so skipped cycles leave no state behind.)
   [[nodiscard]] bool memory_quiescent() const;
 
+  /// Back to the just-constructed state: zeroed bank storage, empty queues,
+  /// free burst machinery, reset core complex. Part of the Cluster::reset()
+  /// reuse contract (docs/ARCHITECTURE.md, P2).
+  void reset();
+
  private:
   void accept_slave_requests(Cycle now);
   void route_bank_responses(Cycle now);
@@ -48,6 +53,7 @@ class Tile final : public TileServices {
   HierNetwork& net_;
   const AddressMap& map_;
   std::vector<SpmBank> banks_;
+  unsigned busy_banks_ = 0;  // banks with queued work (O(1) memory_busy)
   BurstManager bm_;
   std::unique_ptr<CoreComplex> cc_;
 };

@@ -39,6 +39,16 @@ class BoundedQueue {
     return buf_[rd_];
   }
 
+  /// Most recently pushed element (FIFO tail).
+  [[nodiscard]] T& back() {
+    assert(!empty());
+    return buf_[(wr_ == 0 ? buf_.size() : wr_) - 1];
+  }
+  [[nodiscard]] const T& back() const {
+    assert(!empty());
+    return buf_[(wr_ == 0 ? buf_.size() : wr_) - 1];
+  }
+
   /// Element at FIFO position `i` (0 == front). For inspection/debug only.
   [[nodiscard]] const T& at(std::size_t i) const {
     assert(i < count_);

@@ -158,9 +158,16 @@ void dump_value_compact(std::string& out, const Json& v) {
   }
 }
 
+// Indentation appends directly into the output buffer. The previous version
+// built two fresh pad strings per node, i.e. O(nodes) heap allocations and
+// O(nodes * depth) copied bytes on top of the document itself — measurable
+// on multi-thousand-scenario emissions and asserted against by the
+// allocation-growth test in tests/test_hot_path_alloc.cpp.
+void append_pad(std::string& out, int depth) {
+  out.append(2 * static_cast<std::size_t>(depth), ' ');
+}
+
 void dump_value(std::string& out, const Json& v, int depth) {
-  const std::string pad(2 * static_cast<std::size_t>(depth + 1), ' ');
-  const std::string close_pad(2 * static_cast<std::size_t>(depth), ' ');
   if (v.is_null()) {
     out += "null";
   } else if (v.is_bool()) {
@@ -177,12 +184,13 @@ void dump_value(std::string& out, const Json& v, int depth) {
     }
     out += "[\n";
     for (std::size_t i = 0; i < arr.size(); ++i) {
-      out += pad;
+      append_pad(out, depth + 1);
       dump_value(out, arr[i], depth + 1);
       if (i + 1 < arr.size()) out += ',';
       out += '\n';
     }
-    out += close_pad + "]";
+    append_pad(out, depth);
+    out += ']';
   } else {
     const Json::Object& obj = v.as_object();
     if (obj.empty()) {
@@ -192,14 +200,15 @@ void dump_value(std::string& out, const Json& v, int depth) {
     out += "{\n";
     std::size_t i = 0;
     for (const auto& [key, val] : obj) {
-      out += pad;
+      append_pad(out, depth + 1);
       append_escaped(out, key);
       out += ": ";
       dump_value(out, val, depth + 1);
       if (++i < obj.size()) out += ',';
       out += '\n';
     }
-    out += close_pad + "}";
+    append_pad(out, depth);
+    out += '}';
   }
 }
 
@@ -207,6 +216,7 @@ void dump_value(std::string& out, const Json& v, int depth) {
 
 std::string Json::dump() const {
   std::string out;
+  out.reserve(256);  // skip the first few doublings; growth stays amortized O(n)
   dump_value(out, *this, 0);
   out += '\n';
   return out;
@@ -214,6 +224,7 @@ std::string Json::dump() const {
 
 std::string Json::dump_compact() const {
   std::string out;
+  out.reserve(256);
   dump_value_compact(out, *this);
   return out;
 }

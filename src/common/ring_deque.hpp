@@ -1,0 +1,83 @@
+// Growable ring-buffer FIFO for hot-path queues whose occupancy is bounded
+// in practice but not by a small compile-time constant (e.g. per-requester
+// store-ack credits, which are limited only by total network buffering).
+//
+// Unlike std::deque — whose libstdc++ implementation allocates and frees
+// 512-byte blocks as the front drains, costing one malloc/free pair per
+// block even in steady state — RingDeque doubles a single power-of-two
+// buffer and never shrinks, so a warmed-up queue performs no heap
+// allocation (hot-path rule P1, docs/ARCHITECTURE.md).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tcdm {
+
+template <typename T>
+class RingDeque {
+ public:
+  explicit RingDeque(std::size_t initial_capacity = 8)
+      : buf_(round_up_pow2(initial_capacity < 2 ? 2 : initial_capacity)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void push_back(T item) {
+    if (count_ == buf_.size()) grow();
+    buf_[(rd_ + count_) & (buf_.size() - 1)] = std::move(item);
+    ++count_;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return buf_[rd_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[rd_];
+  }
+
+  /// Element at FIFO position `i` (0 == front). For inspection/debug only.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < count_);
+    return buf_[(rd_ + i) & (buf_.size() - 1)];
+  }
+
+  void pop_front() {
+    assert(!empty());
+    rd_ = (rd_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+  /// Drops all elements; keeps the grown capacity (steady-state reuse).
+  void clear() noexcept {
+    rd_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void grow() {
+    std::vector<T> next(buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(rd_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    rd_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t rd_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tcdm

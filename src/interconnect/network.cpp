@@ -1,5 +1,6 @@
 #include "src/interconnect/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tcdm {
@@ -31,6 +32,10 @@ HierNetwork::HierNetwork(const Topology& topo, const NetworkConfig& cfg, StatsRe
   rsp_egress_rr_.assign(num_tiles_, 0);
   acks_.resize(num_tiles_);
   deferred_.resize(num_tiles_);
+  req_wait_map_.init(ports);
+  rsp_dst_map_.init(num_tiles_);
+  rsp_wait_cls_cnt_.assign(num_tiles_, 0);
+  acks_map_.init(num_tiles_);
 
   req_sent_ = stats.counter("network.req_sent");
   req_words_ = stats.counter("network.req_words");
@@ -39,17 +44,6 @@ HierNetwork::HierNetwork(const Topology& topo, const NetworkConfig& cfg, StatsRe
   req_hop_words_ = stats.counter("network.req_hop_words");
   rsp_hop_words_ = stats.counter("network.rsp_hop_words");
   egress_blocked_ = stats.counter("network.egress_blocked_cycles");
-}
-
-bool HierNetwork::can_send_req(TileId src, std::uint8_t cls, Cycle now) const {
-  // One request per (tile, class) master port per cycle. A K-element
-  // unit-stride beat targets a single tile, hence a single class port, so
-  // baseline remote traffic serializes to 4 B/cycle (eq. 3) while streams
-  // to different hierarchy branches may proceed in parallel, as the RTL's
-  // per-class physical ports allow. Write bursts additionally hold the port
-  // while their payload streams out (see send_req).
-  const std::size_t p = port_index(src, cls);
-  return now >= req_master_free_at_[p] && !req_master_[p].full();
 }
 
 void HierNetwork::send_req(TileId src, TileId dst, const TcdmReq& req, Cycle now) {
@@ -83,14 +77,6 @@ void HierNetwork::send_req(TileId src, TileId dst, const TcdmReq& req, Cycle now
   }
   deferred_[src].push_back(op);
   deferred_ops_.fetch_add(1, std::memory_order_relaxed);
-}
-
-bool HierNetwork::can_send_rsp(TileId responder, std::uint8_t cls, Cycle now) const {
-  // Responder side: one beat per (tile, class) per cycle — each class has
-  // its own response wires in the RTL. The CC-side 1-beat/cycle gate is at
-  // the requester's egress (see cycle()).
-  const std::size_t p = port_index(responder, cls);
-  return rsp_master_last_push_[p] != now && !rsp_master_[p].full();
 }
 
 void HierNetwork::send_rsp(TileId responder, const TcdmResp& rsp, Cycle now) {
@@ -132,8 +118,12 @@ void HierNetwork::register_req_head(TileId src, std::uint8_t cls) {
   const std::size_t p = port_index(src, cls);
   if (req_master_[p].empty()) return;
   const TileId dst = req_master_[p].front().dst;
-  auto& wait = req_wait_[port_index(dst, cls)];
-  if (wait.empty()) ++req_wait_active_;
+  const std::size_t e = port_index(dst, cls);
+  auto& wait = req_wait_[e];
+  if (wait.empty()) {
+    ++req_wait_active_;
+    req_wait_map_.set(e);
+  }
   const bool ok = wait.try_push(src);
   assert(ok);
   (void)ok;
@@ -145,7 +135,10 @@ void HierNetwork::register_rsp_head(TileId responder, std::uint8_t cls) {
   if (rsp_master_[p].empty()) return;
   const TileId dst = rsp_master_[p].front().dst_tile;
   auto& wait = rsp_wait_[port_index(dst, cls)];
-  if (wait.empty()) ++rsp_wait_active_;
+  if (wait.empty()) {
+    ++rsp_wait_active_;
+    if (rsp_wait_cls_cnt_[dst]++ == 0) rsp_dst_map_.set(dst);
+  }
   const bool ok = wait.try_push(responder);
   assert(ok);
   (void)ok;
@@ -160,7 +153,10 @@ void HierNetwork::commit_deferred() {
         case DeferredOp::Kind::kReqSend:
           if (op.register_head) {
             auto& wait = req_wait_[op.egress];
-            if (wait.empty()) ++req_wait_active_;
+            if (wait.empty()) {
+              ++req_wait_active_;
+              req_wait_map_.set(op.egress);
+            }
             const bool ok = wait.try_push(op.who);
             assert(ok);
             (void)ok;
@@ -172,7 +168,11 @@ void HierNetwork::commit_deferred() {
         case DeferredOp::Kind::kRspSend:
           if (op.register_head) {
             auto& wait = rsp_wait_[op.egress];
-            if (wait.empty()) ++rsp_wait_active_;
+            if (wait.empty()) {
+              ++rsp_wait_active_;
+              const TileId dst = static_cast<TileId>(op.egress / num_classes_);
+              if (rsp_wait_cls_cnt_[dst]++ == 0) rsp_dst_map_.set(dst);
+            }
             const bool ok = wait.try_push(op.who);
             assert(ok);
             (void)ok;
@@ -182,7 +182,10 @@ void HierNetwork::commit_deferred() {
           rsp_hop_words_.inc(op.hop_words);
           break;
         case DeferredOp::Kind::kStoreAck:
-          if (acks_[op.ack_requester].empty()) ++acks_active_;
+          if (acks_[op.ack_requester].empty()) {
+            ++acks_active_;
+            acks_map_.set(op.ack_requester);
+          }
           acks_[op.ack_requester].push_back(AckEntry{op.ack_ready_at, op.ack_owner});
           rsp_hop_words_.inc(op.hop_words);
           break;
@@ -200,59 +203,71 @@ void HierNetwork::cycle(Cycle now, RspSink& sink) {
 
   // Deliver due store-ack credits (out-of-band; see send_store_ack). Acks
   // are enqueued in ready order per tile, so only the head needs checking.
-  // The activity counts make each block a strict no-op skip when idle.
+  // The bitmaps enumerate exactly the active tiles/ports in the ascending
+  // order the old full scans used, so the walk costs O(active), not
+  // O(tiles x classes).
   if (acks_active_ > 0) {
-    for (TileId t = 0; t < num_tiles_; ++t) {
+    acks_map_.for_each_live([&](std::size_t t) {
       auto& q = acks_[t];
-      if (q.empty() || q.front().ready_at > now) continue;
+      assert(!q.empty());
+      if (q.front().ready_at > now) return;
       do {
         TcdmResp ack;
         ack.write_ack = true;
         ack.num_words = 0;
-        ack.dst_tile = t;
+        ack.dst_tile = static_cast<TileId>(t);
         ack.tag.owner = q.front().owner;
         sink.deliver_rsp(ack, now);
         q.pop_front();
       } while (!q.empty() && q.front().ready_at <= now);
-      if (q.empty()) --acks_active_;
-    }
+      if (q.empty()) {
+        --acks_active_;
+        acks_map_.clear(t);
+      }
+    });
   }
 
   // Request egress: one delivery per (dst, class) per cycle, FCFS over the
-  // master ports whose head currently routes here.
+  // master ports whose head currently routes here. A delivery may register a
+  // new head at a higher egress index; for_each_live observes it this cycle,
+  // exactly like the old ascending (dst, cls) loop.
   if (req_wait_active_ > 0) {
-    for (TileId dst = 0; dst < num_tiles_; ++dst) {
-      for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
-        const std::size_t e = port_index(dst, cls);
-        auto& wait = req_wait_[e];
-        if (wait.empty()) continue;
-        auto& slave = req_slave_[e];
-        if (slave.full()) {
-          egress_blocked_.inc();
-          continue;
-        }
-        const TileId src = wait.front();
-        const std::size_t mp = port_index(src, cls);
-        auto& master = req_master_[mp];
-        assert(!master.empty());
-        if (!master.front_ready(now)) continue;  // pipe latency not yet elapsed
-        assert(master.front().dst == dst);
-        const bool ok = slave.try_push(master.pop().req);
-        assert(ok);
-        (void)ok;
-        wait.pop();
-        if (wait.empty()) --req_wait_active_;
-        req_registered_[mp] = false;
-        register_req_head(src, cls);  // re-register for the new head (if any)
+    req_wait_map_.for_each_live([&](std::size_t e) {
+      const auto dst = static_cast<TileId>(e / num_classes_);
+      const auto cls = static_cast<std::uint8_t>(e % num_classes_);
+      auto& wait = req_wait_[e];
+      assert(!wait.empty());
+      auto& slave = req_slave_[e];
+      if (slave.full()) {
+        egress_blocked_.inc();
+        return;
       }
-    }
+      const TileId src = wait.front();
+      const std::size_t mp = port_index(src, cls);
+      auto& master = req_master_[mp];
+      assert(!master.empty());
+      if (!master.front_ready(now)) return;  // pipe latency not yet elapsed
+      assert(master.front().dst == dst);
+      (void)dst;
+      const bool ok = slave.try_push(master.pop().req);
+      assert(ok);
+      (void)ok;
+      wait.pop();
+      if (wait.empty()) {
+        --req_wait_active_;
+        req_wait_map_.clear(e);
+      }
+      req_registered_[mp] = false;
+      register_req_head(src, cls);  // re-register for the new head (if any)
+    });
   }
 
   // Response egress: the CC retires at most ONE beat per cycle across all
   // classes (its GF-wide response channel); rotate class priority for
   // fairness. Delivery straight into the requesting core (always sinkable).
   if (rsp_wait_active_ > 0) {
-    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+    rsp_dst_map_.for_each_live([&](std::size_t d) {
+      const auto dst = static_cast<TileId>(d);
       const unsigned rr = rsp_egress_rr_[dst];
       for (unsigned k = 0; k < num_classes_; ++k) {
         const auto cls = static_cast<std::uint8_t>((rr + k) % num_classes_);
@@ -267,13 +282,17 @@ void HierNetwork::cycle(Cycle now, RspSink& sink) {
         assert(master.front().dst_tile == dst);
         sink.deliver_rsp(master.pop(), now);
         wait.pop();
-        if (wait.empty()) --rsp_wait_active_;
+        if (wait.empty()) {
+          --rsp_wait_active_;
+          assert(rsp_wait_cls_cnt_[dst] > 0);
+          if (--rsp_wait_cls_cnt_[dst] == 0) rsp_dst_map_.clear(d);
+        }
         rsp_registered_[mp] = false;
         register_rsp_head(responder, cls);
         rsp_egress_rr_[dst] = (cls + 1) % num_classes_;
         break;  // one beat per requester per cycle
       }
-    }
+    });
   }
 }
 
@@ -282,47 +301,38 @@ Cycle HierNetwork::earliest_wakeup(Cycle now) const {
   if (deferred_ops_.load(std::memory_order_relaxed) != 0) return now;
   Cycle wake = kNoCycle;
   if (acks_active_ > 0) {
-    for (const auto& q : acks_) {
-      if (q.empty()) continue;
-      if (q.front().ready_at <= now) return now;
+    acks_map_.for_each([&](std::size_t t) {
+      const auto& q = acks_[t];
+      assert(!q.empty());
       wake = std::min(wake, q.front().ready_at);
-    }
+    });
   }
   // For each active egress, FCFS means only the wait-list head's master port
   // can move next; its head entry's ready time is exact (TimedQueue is
   // in-order, so the head is the earliest of the whole pipe).
   if (req_wait_active_ > 0) {
-    for (TileId dst = 0; dst < num_tiles_; ++dst) {
-      for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
-        const auto& wait = req_wait_[port_index(dst, cls)];
-        if (wait.empty()) continue;
-        const Cycle r = req_master_[port_index(wait.front(), cls)].earliest_ready();
-        if (r <= now) return now;
-        wake = std::min(wake, r);
-      }
-    }
+    req_wait_map_.for_each([&](std::size_t e) {
+      const auto cls = static_cast<std::uint8_t>(e % num_classes_);
+      const auto& wait = req_wait_[e];
+      assert(!wait.empty());
+      wake = std::min(wake, req_master_[port_index(wait.front(), cls)].earliest_ready());
+    });
   }
   if (rsp_wait_active_ > 0) {
-    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+    rsp_dst_map_.for_each([&](std::size_t d) {
       for (std::uint8_t cls = 0; cls < num_classes_; ++cls) {
-        const auto& wait = rsp_wait_[port_index(dst, cls)];
+        const auto& wait = rsp_wait_[port_index(static_cast<TileId>(d), cls)];
         if (wait.empty()) continue;
-        const Cycle r = rsp_master_[port_index(wait.front(), cls)].earliest_ready();
-        if (r <= now) return now;
-        wake = std::min(wake, r);
+        wake = std::min(wake, rsp_master_[port_index(wait.front(), cls)].earliest_ready());
       }
-    }
+    });
   }
-  return wake;
+  return wake <= now ? now : wake;
 }
 
 bool HierNetwork::busy() const {
-  for (const auto& ops : deferred_) {
-    if (!ops.empty()) return true;  // staged store-ack credits
-  }
-  for (const auto& q : acks_) {
-    if (!q.empty()) return true;
-  }
+  if (deferred_ops_.load(std::memory_order_relaxed) != 0) return true;  // staged effects
+  if (acks_active_ != 0) return true;
   for (const auto& q : req_master_) {
     if (!q.empty()) return true;
   }
@@ -333,6 +343,29 @@ bool HierNetwork::busy() const {
     if (!q.empty()) return true;
   }
   return false;
+}
+
+void HierNetwork::reset() {
+  for (auto& q : req_master_) q.clear();
+  for (auto& q : rsp_master_) q.clear();
+  for (auto& q : req_slave_) q.clear();
+  for (auto& q : req_wait_) q.clear();
+  for (auto& q : rsp_wait_) q.clear();
+  std::fill(req_master_free_at_.begin(), req_master_free_at_.end(), Cycle{0});
+  std::fill(rsp_master_last_push_.begin(), rsp_master_last_push_.end(), kNoCycle);
+  std::fill(req_registered_.begin(), req_registered_.end(), std::uint8_t{0});
+  std::fill(rsp_registered_.begin(), rsp_registered_.end(), std::uint8_t{0});
+  std::fill(rsp_egress_rr_.begin(), rsp_egress_rr_.end(), 0u);
+  for (auto& q : acks_) q.clear();
+  for (auto& ops : deferred_) ops.clear();
+  req_wait_active_ = 0;
+  rsp_wait_active_ = 0;
+  acks_active_ = 0;
+  req_wait_map_.clear_all();
+  rsp_dst_map_.clear_all();
+  std::fill(rsp_wait_cls_cnt_.begin(), rsp_wait_cls_cnt_.end(), std::uint16_t{0});
+  acks_map_.clear_all();
+  deferred_ops_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace tcdm

@@ -37,11 +37,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "src/common/active_bitmap.hpp"
 #include "src/common/bounded_queue.hpp"
+#include "src/common/ring_deque.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/timed_queue.hpp"
 #include "src/common/types.hpp"
@@ -82,11 +83,27 @@ class HierNetwork {
   [[nodiscard]] unsigned grouping_factor() const noexcept { return cfg_.grouping_factor; }
 
   // ---- request ingress (cores stage; at most one per (src, class) per cycle) ----
-  [[nodiscard]] bool can_send_req(TileId src, std::uint8_t cls, Cycle now) const;
+  // One request per (tile, class) master port per cycle. A K-element
+  // unit-stride beat targets a single tile, hence a single class port, so
+  // baseline remote traffic serializes to 4 B/cycle (eq. 3) while streams
+  // to different hierarchy branches may proceed in parallel, as the RTL's
+  // per-class physical ports allow. Write bursts additionally hold the port
+  // while their payload streams out (see send_req). Inline: this gate runs
+  // on every dispatch attempt of every staged item.
+  [[nodiscard]] bool can_send_req(TileId src, std::uint8_t cls, Cycle now) const noexcept {
+    const std::size_t p = port_index(src, cls);
+    return now >= req_master_free_at_[p] && !req_master_[p].full();
+  }
   void send_req(TileId src, TileId dst, const TcdmReq& req, Cycle now);
 
   // ---- response ingress (memory stage; one beat per (responder, class) per cycle) ----
-  [[nodiscard]] bool can_send_rsp(TileId responder, std::uint8_t cls, Cycle now) const;
+  // Responder side: one beat per (tile, class) per cycle — each class has
+  // its own response wires in the RTL. The CC-side 1-beat/cycle gate is at
+  // the requester's egress (see cycle()).
+  [[nodiscard]] bool can_send_rsp(TileId responder, std::uint8_t cls, Cycle now) const noexcept {
+    const std::size_t p = port_index(responder, cls);
+    return rsp_master_last_push_[p] != now && !rsp_master_[p].full();
+  }
   void send_rsp(TileId responder, const TcdmResp& rsp, Cycle now);
 
   // ---- store acknowledgements ----
@@ -136,6 +153,11 @@ class HierNetwork {
   /// cluster never consults the network in those states (EV3 — some other
   /// component stays awake).
   [[nodiscard]] Cycle earliest_wakeup(Cycle now) const;
+
+  /// Back to the just-constructed state: all queues empty, ports free,
+  /// wait-lists and credits cleared, activity tracking zeroed. Counters live
+  /// in the StatsRegistry and are reset by its owner.
+  void reset();
 
  private:
   [[nodiscard]] std::size_t port_index(TileId tile, std::uint8_t cls) const noexcept {
@@ -198,18 +220,27 @@ class HierNetwork {
     Cycle ready_at = 0;
     ReqOwner owner = ReqOwner::kScalar;
   };
-  std::vector<std::deque<AckEntry>> acks_;
+  // RingDeque, not std::deque: credit counts are bounded only by total
+  // network buffering, and deque block churn was measurable on the MP128
+  // hot path; the ring grows once and is allocation-free thereafter.
+  std::vector<RingDeque<AckEntry>> acks_;
 
-  // Activity counts so the per-cycle O(tiles x classes) egress scans and the
-  // quiescence/wakeup probes are O(1) when the network is idle — the common
-  // case during long compute or barrier-wait spans. req/rsp counts track
-  // non-empty wait-lists, acks the tiles with pending credits; all three are
-  // maintained only in the serial phases (cycle / commit_deferred). The
-  // staged-op count is bumped from parallel send_* calls, hence atomic; the
-  // phase-boundary join orders those bumps before the serial read.
+  // Activity tracking so the per-cycle egress scans and quiescence/wakeup
+  // probes cost O(active ports), not O(tiles x classes). The counts give the
+  // O(1) idle gate; the bitmaps enumerate exactly the non-empty wait-lists
+  // (req: per egress port; rsp: per destination tile, with a per-dst count
+  // of non-empty class lists; acks: per requester tile) in the same
+  // ascending order the old full scans used. All are maintained only in the
+  // serial phases (cycle / commit_deferred). The staged-op count is bumped
+  // from parallel send_* calls, hence atomic; the phase-boundary join orders
+  // those bumps before the serial read.
   std::size_t req_wait_active_ = 0;
   std::size_t rsp_wait_active_ = 0;
   std::size_t acks_active_ = 0;
+  ActiveBitmap req_wait_map_;                     // egress port -> wait non-empty
+  ActiveBitmap rsp_dst_map_;                      // dst tile -> any class wait non-empty
+  std::vector<std::uint16_t> rsp_wait_cls_cnt_;   // [dst]: non-empty class waits
+  ActiveBitmap acks_map_;                         // requester tile -> credits pending
   std::atomic<std::size_t> deferred_ops_{0};
 
   // Statistics.

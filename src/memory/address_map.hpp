@@ -14,13 +14,32 @@
 
 namespace tcdm {
 
+/// Full decode of one word address — computed in one pass so hot loops pay
+/// the interleave math (or the shift/mask fast path) once instead of once
+/// per field.
+struct DecodedAddr {
+  std::uint32_t row;       ///< row inside the bank's storage array
+  TileId tile;             ///< owning tile
+  std::uint32_t bank_in_tile;  ///< bank index within that tile
+};
+
 class AddressMap {
  public:
-  AddressMap() = default;
+  AddressMap() : AddressMap(1, 1, 1) {}
   AddressMap(unsigned num_banks, unsigned banks_per_tile, unsigned bank_words)
       : num_banks_(num_banks), banks_per_tile_(banks_per_tile), bank_words_(bank_words) {
     assert(num_banks > 0 && banks_per_tile > 0 && bank_words > 0);
     assert(num_banks % banks_per_tile == 0);
+    // Bank counts are powers of two in every real MemPool/Spatz topology;
+    // precompute shift/mask decode for that case and keep the div/mod
+    // fallback for arbitrary generator-produced configs.
+    if (is_pow2(num_banks_) && is_pow2(banks_per_tile_)) {
+      pow2_ = true;
+      bank_shift_ = log2_exact(num_banks_);
+      bank_mask_ = num_banks_ - 1;
+      bpt_shift_ = log2_exact(banks_per_tile_);
+      bpt_mask_ = banks_per_tile_ - 1;
+    }
   }
 
   [[nodiscard]] unsigned num_banks() const noexcept { return num_banks_; }
@@ -40,20 +59,35 @@ class AddressMap {
   }
 
   [[nodiscard]] BankId bank_of(Addr addr) const noexcept {
-    return word_index(addr) % num_banks_;
+    const std::uint32_t w = word_index(addr);
+    return pow2_ ? (w & bank_mask_) : (w % num_banks_);
   }
 
   /// Row inside the bank's storage array.
   [[nodiscard]] std::uint32_t row_of(Addr addr) const noexcept {
-    return word_index(addr) / num_banks_;
+    const std::uint32_t w = word_index(addr);
+    return pow2_ ? (w >> bank_shift_) : (w / num_banks_);
   }
 
   [[nodiscard]] TileId tile_of(Addr addr) const noexcept {
-    return bank_of(addr) / banks_per_tile_;
+    const BankId b = bank_of(addr);
+    return pow2_ ? (b >> bpt_shift_) : (b / banks_per_tile_);
   }
 
   [[nodiscard]] unsigned bank_in_tile(Addr addr) const noexcept {
-    return bank_of(addr) % banks_per_tile_;
+    const BankId b = bank_of(addr);
+    return pow2_ ? (b & bpt_mask_) : (b % banks_per_tile_);
+  }
+
+  /// One-pass (row, tile, bank-in-tile) decode for hot loops.
+  [[nodiscard]] DecodedAddr decode(Addr addr) const noexcept {
+    const std::uint32_t w = word_index(addr);
+    if (pow2_) {
+      const std::uint32_t b = w & bank_mask_;
+      return DecodedAddr{w >> bank_shift_, b >> bpt_shift_, b & bpt_mask_};
+    }
+    const std::uint32_t b = w % num_banks_;
+    return DecodedAddr{w / num_banks_, b / banks_per_tile_, b % banks_per_tile_};
   }
 
   /// Number of consecutive words starting at `addr` that stay inside one
@@ -70,6 +104,13 @@ class AddressMap {
   unsigned num_banks_ = 1;
   unsigned banks_per_tile_ = 1;
   unsigned bank_words_ = 1;
+  // Derived shift/mask tables (functions of the three basics, so the
+  // defaulted operator== stays an equality over the basics).
+  bool pow2_ = false;
+  std::uint32_t bank_shift_ = 0;
+  std::uint32_t bank_mask_ = 0;
+  std::uint32_t bpt_shift_ = 0;
+  std::uint32_t bpt_mask_ = 0;
 };
 
 }  // namespace tcdm

@@ -6,8 +6,13 @@
 // register file always observes elements in element order. ROB depth is the
 // latency-tolerance knob the paper doubles for burst configurations
 // (§III-A): it bounds outstanding transactions per port.
+//
+// All operations are O(1) and defined inline: head_ready()/pop_head() run
+// once per port per cycle in Vlsu::retire(), where an out-of-line call is
+// pure overhead in the -O3 no-LTO build.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -17,7 +22,7 @@ namespace tcdm {
 
 class ReorderBuffer {
  public:
-  explicit ReorderBuffer(unsigned depth);
+  explicit ReorderBuffer(unsigned depth) : ring_(depth) { assert(depth > 0); }
 
   [[nodiscard]] unsigned depth() const noexcept { return static_cast<unsigned>(ring_.size()); }
   [[nodiscard]] unsigned occupancy() const noexcept { return count_; }
@@ -28,18 +33,46 @@ class ReorderBuffer {
   }
 
   /// Allocate the next in-order slot. Precondition: !full().
-  [[nodiscard]] std::uint16_t alloc();
+  [[nodiscard]] std::uint16_t alloc() {
+    assert(!full());
+    const unsigned slot = tail_;
+    Entry& e = ring_[slot];
+    assert(!e.valid);
+    e.valid = true;
+    e.filled = false;
+    tail_ = (tail_ + 1 == ring_.size()) ? 0 : tail_ + 1;
+    ++count_;
+    return static_cast<std::uint16_t>(slot);
+  }
 
   /// Deposit response data into a previously allocated slot.
-  void fill(std::uint16_t slot, Word data);
+  void fill(std::uint16_t slot, Word data) {
+    assert(slot < ring_.size());
+    Entry& e = ring_[slot];
+    assert(e.valid && !e.filled);
+    e.filled = true;
+    e.data = data;
+  }
 
   /// True when the oldest allocated slot has its data.
-  [[nodiscard]] bool head_ready() const noexcept;
+  [[nodiscard]] bool head_ready() const noexcept { return count_ > 0 && ring_[head_].filled; }
 
   /// Retire the oldest slot (in allocation order). Precondition: head_ready().
-  Word pop_head();
+  Word pop_head() {
+    assert(head_ready());
+    Entry& e = ring_[head_];
+    const Word data = e.data;
+    e.valid = false;
+    e.filled = false;
+    head_ = (head_ + 1 == ring_.size()) ? 0 : head_ + 1;
+    --count_;
+    return data;
+  }
 
-  void clear();
+  void clear() {
+    for (Entry& e : ring_) e = Entry{};
+    head_ = tail_ = count_ = 0;
+  }
 
  private:
   struct Entry {

@@ -14,40 +14,4 @@ void SpmBank::attach_stats(StatsRegistry& reg, const std::string& prefix) {
   stall_cycles_ = reg.counter(prefix + ".stall_cycles");
 }
 
-bool SpmBank::try_push(const BankReq& req) {
-  assert(req.row < data_.size());
-  return in_.try_push(req);
-}
-
-void SpmBank::cycle() {
-  if (in_.empty()) return;
-  if (out_.full()) {
-    stall_cycles_.inc();
-    return;
-  }
-  if (in_.size() > 1) conflict_cycles_.inc();
-
-  const BankReq req = in_.pop();
-  BankResp resp;
-  resp.route = req.route;
-  if (req.amo_add) {
-    // Atomic fetch-and-add performed at the memory: single-cycle RMW, the
-    // response carries the old value.
-    resp.data = data_[req.row];
-    data_[req.row] += req.wdata;
-    reads_.inc();
-    writes_.inc();
-  } else if (req.write) {
-    data_[req.row] = req.wdata;
-    resp.route.write = true;
-    writes_.inc();
-  } else {
-    resp.data = data_[req.row];
-    reads_.inc();
-  }
-  const bool pushed = out_.try_push(resp);
-  assert(pushed);
-  (void)pushed;
-}
-
 }  // namespace tcdm

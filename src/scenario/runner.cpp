@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/cluster/cluster.hpp"
+#include "src/cluster/cluster_cache.hpp"
 
 namespace tcdm::scenario {
 
@@ -52,7 +53,8 @@ const PowerBreakdown& ResultSet::power(const std::string& rel) const {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_override,
-                            std::optional<SteppingMode> stepping_override) {
+                            std::optional<SteppingMode> stepping_override,
+                            ClusterCache* cache) {
   ScenarioResult r;
   r.name = spec.name;
   r.rel = spec.rel();
@@ -62,7 +64,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_overr
     SimOptions sim = spec.opts.sim;
     if (sim_threads_override > 0) sim.sim_threads = sim_threads_override;
     if (stepping_override) sim.stepping = *stepping_override;
-    Cluster cluster(cfg, sim);
+    // Reuse a cached cluster for this config shape when the caller provides
+    // a cache (sweeps); the fallback local is for one-off calls.
+    std::optional<Cluster> local;
+    Cluster& cluster =
+        cache != nullptr ? cache->acquire(cfg, sim) : local.emplace(cfg, sim);
     r.metrics = run_kernel_on(cluster, *kernel, spec.opts);
     r.power = estimate_power(cluster, r.metrics.cycles, cfg.freq_tt_mhz);
     r.sim_cycles_skipped = cluster.cycles_skipped();
@@ -84,19 +90,24 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>
   if (jobs == 0) jobs = 1;
   jobs = std::min<unsigned>(jobs, static_cast<unsigned>(specs.size()));
 
+  // One cluster cache per worker thread: scenarios of a suite cycle over a
+  // handful of config shapes, so reset-reuse removes per-scenario cluster
+  // construction (bit-identical results, docs/ARCHITECTURE.md P2).
   if (jobs <= 1) {
+    ClusterCache cache;
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping);
+      slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping, &cache);
       if (opts.on_done) opts.on_done(slots[i]);
     }
   } else {
     std::atomic<std::size_t> next{0};
     std::mutex done_mutex;
     const auto worker = [&] {
+      ClusterCache cache;
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= specs.size()) return;
-        slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping);
+        slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping, &cache);
         if (opts.on_done) {
           const std::lock_guard<std::mutex> lock(done_mutex);
           opts.on_done(slots[i]);

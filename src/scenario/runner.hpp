@@ -1,7 +1,9 @@
 // SweepRunner: execute any selection of scenarios, serially or on a thread
-// pool (one fresh Cluster per run; scenarios are independent). Results come
-// back in the selection's (registration) order regardless of worker count,
-// so serial and parallel sweeps are interchangeable byte for byte.
+// pool (scenarios are independent; each worker reuses clusters per config
+// shape via ClusterCache + Cluster::reset(), which is bit-identical to a
+// fresh cluster per run — docs/ARCHITECTURE.md, P2). Results come back in
+// the selection's (registration) order regardless of worker count, so
+// serial and parallel sweeps are interchangeable byte for byte.
 #pragma once
 
 #include <functional>
@@ -11,6 +13,10 @@
 #include <vector>
 
 #include "src/scenario/scenario.hpp"
+
+namespace tcdm {
+class ClusterCache;
+}
 
 namespace tcdm::scenario {
 
@@ -35,10 +41,14 @@ struct SweepOptions {
 /// Run one scenario on a fresh cluster. Never throws: failures (exceptions,
 /// timeouts, failed expected verification) land in ScenarioResult::error.
 /// `sim_threads_override` > 0 replaces the spec's RunnerOptions sim_threads;
-/// a set `stepping_override` replaces its stepping mode.
+/// a set `stepping_override` replaces its stepping mode. With a non-null
+/// `cache`, the cluster is drawn from it (reset-reuse per config shape —
+/// bit-identical results, docs/ARCHITECTURE.md P2) instead of constructed;
+/// the cache must not be shared across threads.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
                                           unsigned sim_threads_override = 0,
-                                          std::optional<SteppingMode> stepping_override = {});
+                                          std::optional<SteppingMode> stepping_override = {},
+                                          ClusterCache* cache = nullptr);
 
 /// Run every scenario in `specs` and collect results in the same order.
 /// The selection may span suites; group with group_by_suite for per-suite

@@ -30,6 +30,13 @@ class CoreComplex {
   void attach_stats(StatsRegistry& reg, const std::string& prefix);
   void load_program(const Program* prog, Cycle start_cycle = 0);
 
+  /// Back to the just-constructed state (docs/ARCHITECTURE.md, P2): detach
+  /// the program and fully reset both the scalar and the vector half.
+  void reset() {
+    snitch_.reset();
+    spatz_.reset();
+  }
+
   void cycle(Cycle now, TileServices& tile);
 
   [[nodiscard]] bool halted() const noexcept { return snitch_.halted(); }

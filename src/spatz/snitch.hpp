@@ -37,6 +37,11 @@ class Snitch {
   /// `start_cycle` (wake-up skew).
   void load_program(const Program* prog, Cycle start_cycle = 0);
 
+  /// Detach the program and clear architectural state. Every field the next
+  /// run can observe is re-initialized by the load_program() that must
+  /// precede it (docs/ARCHITECTURE.md, P2).
+  void reset() { load_program(nullptr, 0); }
+
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] std::uint64_t instrs_executed() const noexcept {
     return static_cast<std::uint64_t>(instrs_.value());

@@ -22,6 +22,12 @@ void Spatz::reset() {
   for (VInstr& v : pool_) v.reset();
   sb_ = Scoreboard{};
   viq_.clear();
+  // Full micro-architectural reset so a reused cluster is bit-identical to a
+  // fresh one (docs/ARCHITECTURE.md, P2). All of this is already in its
+  // initial state when called on a freshly constructed Spatz.
+  vrf_.reset();
+  vfpu_.reset();
+  vlsu_.reset();
 }
 
 void Spatz::viq_push(const DispatchedV& d) {

@@ -7,7 +7,8 @@
 
 namespace tcdm {
 
-Vfpu::Vfpu(unsigned lanes, unsigned latency) : lanes_(lanes), latency_(latency) {
+Vfpu::Vfpu(unsigned lanes, unsigned latency)
+    : lanes_(lanes), latency_(latency), pipe_(latency + 4) {
   assert(lanes_ >= 1 && lanes_ <= kMaxPorts);
   assert(latency_ >= 1);
 }
@@ -101,8 +102,7 @@ void Vfpu::cycle(Cycle now, std::array<VInstr, kVInstrSlots>& pool, VectorRegFil
                  const Scoreboard& sb, VCompletionSink& sink) {
   // Drain the pipeline: watermarks written `latency_` cycles after issue.
   while (!pipe_.empty() && pipe_.front().done <= now) {
-    const PipeEntry pe = pipe_.front();
-    pipe_.pop_front();
+    const PipeEntry pe = pipe_.pop();
     VInstr& instr = pool[pe.slot];
     assert(instr.valid);
     instr.watermark = std::max(instr.watermark, pe.upto);
@@ -139,7 +139,10 @@ void Vfpu::cycle(Cycle now, std::array<VInstr, kVInstrSlots>& pool, VectorRegFil
     const unsigned occupancy =
         static_cast<unsigned>(ceil_div(d.vl, lanes_)) + log2_floor(std::max(2u, lanes_));
     busy_until_ = now + occupancy;
-    pipe_.push_back(PipeEntry{busy_until_ + latency_, static_cast<std::uint8_t>(active_), 1});
+    const bool pushed = pipe_.try_push(
+        PipeEntry{busy_until_ + latency_, static_cast<std::uint8_t>(active_), 1});
+    assert(pushed && "Vfpu pipe capacity bound violated");
+    (void)pushed;
     instr.issued = d.vl;
     instr.issuing_done = true;
     active_ = -1;  // lanes report busy via busy_until_; issue slot frees after occupancy
@@ -181,7 +184,10 @@ void Vfpu::cycle(Cycle now, std::array<VInstr, kVInstrSlots>& pool, VectorRegFil
   }
 
   exec_batch(instr, vrf, e0, n);
-  pipe_.push_back(PipeEntry{now + latency_, static_cast<std::uint8_t>(active_), need});
+  const bool pushed =
+      pipe_.try_push(PipeEntry{now + latency_, static_cast<std::uint8_t>(active_), need});
+  assert(pushed && "Vfpu pipe capacity bound violated");
+  (void)pushed;
   instr.issued = need;
   busy_cycles_.inc();
   if (instr.issued >= d.vl) {

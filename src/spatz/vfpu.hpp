@@ -10,9 +10,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <string>
 
+#include "src/common/bounded_queue.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/types.hpp"
 #include "src/spatz/vinstr.hpp"
@@ -44,6 +44,13 @@ class Vfpu {
 
   [[nodiscard]] bool idle() const noexcept { return active_ < 0 && pipe_.empty(); }
   [[nodiscard]] double flops() const noexcept { return flops_.value(); }
+
+  /// Back to the just-constructed state (no active instruction, empty pipe).
+  void reset() {
+    active_ = -1;
+    busy_until_ = 0;
+    pipe_.clear();
+  }
 
   /// Event-driven stepping (docs/ARCHITECTURE.md, EV1/EV2): the unit's next
   /// state change is the pipeline head's completion and/or the end of a
@@ -79,7 +86,13 @@ class Vfpu {
   unsigned latency_;
   int active_ = -1;
   Cycle busy_until_ = 0;  // reduction lane occupancy
-  std::deque<PipeEntry> pipe_;
+  // Ring, not deque: occupancy is architecturally bounded. The pipe drains
+  // every entry with done <= now at the top of cycle() and pushes at most
+  // one entry per cycle, each living `latency_` cycles — except a reduction
+  // entry (done = busy_until_ + latency_), which coexists with at most
+  // `latency_` element entries pushed after the lanes free. Bound:
+  // latency_ + 1; capacity latency_ + 4 leaves margin (asserted on push).
+  BoundedQueue<PipeEntry> pipe_;
   Counter flops_;
   Counter busy_cycles_;
   Counter stall_cycles_;  // active instruction waiting on source watermarks

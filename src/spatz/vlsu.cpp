@@ -1,6 +1,7 @@
 #include "src/spatz/vlsu.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace tcdm {
@@ -48,6 +49,15 @@ void Vlsu::update_watermark(VInstr& instr) const {
 
 void Vlsu::retire(std::array<VInstr, kVInstrSlots>& pool, VectorRegFile& vrf,
                   VCompletionSink& sink) {
+  // Watermarks are recomputed once per touched instruction after the port
+  // loop, not once per retired element: nothing reads them mid-loop, and the
+  // watermark is a pure (monotone) function of the final port_retired
+  // counts, so the batched update lands on the exact same value.
+  // Every ROB entry belongs to a load that is either still issuing (active_)
+  // or parked in retiring_ until fully retired — no candidates means every
+  // ROB is empty and the port scan would find nothing.
+  if (active_ < 0 && retiring_.empty()) return;
+  unsigned touched = 0;  // bitmask over VInstr pool slots
   for (unsigned p = 0; p < ports_; ++p) {
     if (!rob_[p].head_ready()) continue;
     const Word data = rob_[p].pop_head();
@@ -58,12 +68,19 @@ void Vlsu::retire(std::array<VInstr, kVInstrSlots>& pool, VectorRegFile& vrf,
     ++instr.port_retired[p];
     ++instr.retired;
     words_loaded_.inc();
-    update_watermark(instr);
     if (instr.retired == instr.d.vl && instr.issuing_done) {
       // Fully retired load: drop from the retiring set and complete.
       retiring_.erase(std::find(retiring_.begin(), retiring_.end(), m.slot));
-      sink.vinstr_complete(m.slot);
+      sink.vinstr_complete(m.slot);  // resets the VInstr; no watermark update
+      touched &= ~(1u << m.slot);
+    } else {
+      touched |= 1u << m.slot;
     }
+  }
+  while (touched != 0) {
+    const unsigned slot = static_cast<unsigned>(std::countr_zero(touched));
+    touched &= touched - 1;
+    update_watermark(pool[slot]);
   }
 }
 

@@ -85,6 +85,17 @@ class Vlsu {
   [[nodiscard]] double words_loaded() const noexcept { return words_loaded_.value(); }
   [[nodiscard]] double words_stored() const noexcept { return words_stored_.value(); }
 
+  /// Back to the just-constructed state (empty ROBs, free burst table,
+  /// no outstanding stores). Counters are reset by the StatsRegistry owner.
+  void reset() {
+    active_ = -1;
+    retiring_.clear();
+    for (ReorderBuffer& r : rob_) r.clear();
+    for (auto& m : meta_) m.clear();
+    sender_.reset();
+    outstanding_stores_ = 0;
+  }
+
  private:
   struct RobMeta {
     std::uint8_t slot = 0;   // VInstr pool slot

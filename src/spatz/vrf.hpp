@@ -39,6 +39,9 @@ class VectorRegFile {
     write(vreg, elem, f32_to_word(value));
   }
 
+  /// Zero all registers (just-constructed state; storage reused).
+  void reset() { words_.assign(words_.size(), 0); }
+
  private:
   [[nodiscard]] std::size_t flat(unsigned vreg, unsigned elem) const {
     const std::size_t idx = static_cast<std::size_t>(vreg) * epr_ + elem;

@@ -1,0 +1,187 @@
+// Reset-reuse determinism (hot-path rule P2, docs/ARCHITECTURE.md): a run
+// on a dirtied-then-reset() cluster must be bit-identical — metrics, every
+// statistics counter, and the full TCDM image — to the same run on a
+// freshly constructed cluster, across baseline/GF2/GF4 presets, serial and
+// tile-parallel stepping, and all three stepping modes. This is the
+// contract that lets the scenario runners keep one pooled cluster per
+// config shape (ClusterCache) instead of paying construction per scenario.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.hpp"
+#include "src/cluster/cluster_cache.hpp"
+#include "src/cluster/kernel_runner.hpp"
+#include "src/kernels/axpy.hpp"
+#include "src/kernels/dotp.hpp"
+#include "tests/support/test_support.hpp"
+
+namespace tcdm {
+namespace {
+
+using test::mp4_config;
+
+/// Everything a run can observably leave behind.
+struct RunImage {
+  KernelMetrics metrics;
+  std::string stats_json;     // every counter, sorted and complete
+  std::vector<Word> tcdm;     // full memory image, ascending addresses
+};
+
+std::vector<Word> tcdm_image(const Cluster& cluster) {
+  std::vector<Word> image;
+  for (Addr addr = 0; cluster.map().valid(addr); addr += kWordBytes) {
+    image.push_back(cluster.read_word(addr));
+  }
+  return image;
+}
+
+RunImage capture(Cluster& cluster, Kernel& kernel) {
+  RunnerOptions opts;
+  opts.max_cycles = 5'000'000;
+  RunImage img;
+  img.metrics = run_kernel_on(cluster, kernel, opts);
+  img.stats_json = cluster.stats().to_json();
+  img.tcdm = tcdm_image(cluster);
+  return img;
+}
+
+/// Field-exact comparison: the P2 contract is bit-identity, not tolerance.
+void expect_identical(const RunImage& fresh, const RunImage& reused) {
+  EXPECT_EQ(fresh.metrics.cycles, reused.metrics.cycles);
+  EXPECT_EQ(fresh.metrics.flops, reused.metrics.flops);
+  EXPECT_EQ(fresh.metrics.bytes, reused.metrics.bytes);
+  EXPECT_EQ(fresh.metrics.flops_per_cycle, reused.metrics.flops_per_cycle);
+  EXPECT_EQ(fresh.metrics.bw_bytes_per_cycle, reused.metrics.bw_bytes_per_cycle);
+  EXPECT_EQ(fresh.metrics.verified, reused.metrics.verified);
+  EXPECT_EQ(fresh.metrics.timed_out, reused.metrics.timed_out);
+  EXPECT_EQ(fresh.stats_json, reused.stats_json);
+  EXPECT_EQ(fresh.tcdm, reused.tcdm);
+}
+
+/// The sweep axis: {baseline, GF2, GF4} via TCDM_INSTANTIATE_BURST_SWEEP.
+class ResetIdentity : public test::BurstSweepTest {};
+
+void check_reset_identity(const ClusterConfig& cfg, const SimOptions& sim) {
+  // Fresh reference run.
+  AxpyKernel fresh_kernel(768, 1.25f, 11);
+  Cluster fresh(cfg, sim);
+  const RunImage ref = capture(fresh, fresh_kernel);
+  ASSERT_FALSE(ref.metrics.timed_out);
+  ASSERT_TRUE(ref.metrics.verified);
+
+  // Dirty a second cluster with a different kernel (different program,
+  // different data, different cycle count), then reset() and re-run.
+  Cluster reused(cfg, sim);
+  DotpKernel dirt(512);
+  RunnerOptions opts;
+  opts.max_cycles = 5'000'000;
+  (void)run_kernel_on(reused, dirt, opts);
+  reused.reset();
+  AxpyKernel reused_kernel(768, 1.25f, 11);
+  const RunImage got = capture(reused, reused_kernel);
+  expect_identical(ref, got);
+}
+
+TEST_P(ResetIdentity, SerialEventDriven) {
+  check_reset_identity(config(), SimOptions{1, SteppingMode::kEventDriven});
+}
+
+TEST_P(ResetIdentity, SerialCycleByCycle) {
+  check_reset_identity(config(), SimOptions{1, SteppingMode::kCycleByCycle});
+}
+
+TEST_P(ResetIdentity, SerialCrossCheck) {
+  check_reset_identity(config(), SimOptions{1, SteppingMode::kCrossCheck});
+}
+
+TEST_P(ResetIdentity, FourSimThreadsEventDriven) {
+  check_reset_identity(config(), SimOptions{4, SteppingMode::kEventDriven});
+}
+
+TEST_P(ResetIdentity, FourSimThreadsCycleByCycle) {
+  check_reset_identity(config(), SimOptions{4, SteppingMode::kCycleByCycle});
+}
+
+TCDM_INSTANTIATE_BURST_SWEEP(ResetIdentity);
+
+TEST(ResetIdentity, ThreadedMatchesSerialAfterReset) {
+  // Cross-axis check: a reset-reused serial run and a reset-reused
+  // 4-thread run of the same kernel are bit-identical to each other.
+  const ClusterConfig cfg = mp4_config(4);
+  RunImage imgs[2];
+  const unsigned threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    Cluster cluster(cfg, SimOptions{threads[i], SteppingMode::kEventDriven});
+    DotpKernel dirt(256);
+    RunnerOptions opts;
+    (void)run_kernel_on(cluster, dirt, opts);
+    cluster.reset();
+    AxpyKernel kernel(768, 1.25f, 11);
+    imgs[i] = capture(cluster, kernel);
+  }
+  expect_identical(imgs[0], imgs[1]);
+}
+
+// ------------------------------------------------------------- ClusterCache
+
+TEST(ClusterCache, ReusesClusterForSameShape) {
+  ClusterCache cache;
+  const ClusterConfig cfg = mp4_config(2);
+  const SimOptions sim;
+  Cluster& a = cache.acquire(cfg, sim);
+  Cluster& b = cache.acquire(cfg, sim);
+  EXPECT_EQ(&a, &b);  // same pooled instance, reset between acquires
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ClusterCache, ShapeKeyIncludesSimOptions) {
+  ClusterCache cache;
+  const ClusterConfig cfg = mp4_config(2);
+  Cluster& serial = cache.acquire(cfg, SimOptions{1, SteppingMode::kEventDriven});
+  Cluster& threaded = cache.acquire(cfg, SimOptions{4, SteppingMode::kEventDriven});
+  Cluster& cyclewise = cache.acquire(cfg, SimOptions{1, SteppingMode::kCycleByCycle});
+  EXPECT_NE(&serial, &threaded);
+  EXPECT_NE(&serial, &cyclewise);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ClusterCache, EvictsLeastRecentlyUsedAtCapacity) {
+  ClusterCache cache(2);
+  const ClusterConfig a = mp4_config(0);
+  const ClusterConfig b = mp4_config(2);
+  const ClusterConfig c = mp4_config(4);
+  const SimOptions sim;
+  (void)cache.acquire(a, sim);
+  (void)cache.acquire(b, sim);
+  (void)cache.acquire(c, sim);  // evicts a (LRU)
+  EXPECT_EQ(cache.misses(), 3u);
+  (void)cache.acquire(b, sim);  // still resident
+  EXPECT_EQ(cache.hits(), 1u);
+  (void)cache.acquire(a, sim);  // evicted above: a fresh miss
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(ClusterCache, RunKernelThroughCacheMatchesFreshRuns) {
+  ClusterCache cache;
+  const ClusterConfig cfg = mp4_config(4);
+  RunnerOptions opts;
+  AxpyKernel k1(768, 1.25f, 11);
+  AxpyKernel k2(768, 1.25f, 11);
+  AxpyKernel k3(768, 1.25f, 11);
+  const KernelMetrics fresh = run_kernel(cfg, k1, opts);
+  const KernelMetrics first = run_kernel(cfg, k2, opts, cache);   // cold
+  const KernelMetrics second = run_kernel(cfg, k3, opts, cache);  // reused
+  EXPECT_EQ(fresh.cycles, first.cycles);
+  EXPECT_EQ(fresh.cycles, second.cycles);
+  EXPECT_EQ(fresh.flops, second.flops);
+  EXPECT_TRUE(second.verified);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace tcdm

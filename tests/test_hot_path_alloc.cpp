@@ -1,0 +1,158 @@
+// Allocation accounting for the hot path (hot-path rule P1,
+// docs/ARCHITECTURE.md): this binary replaces the global operator new /
+// delete with counting versions, then asserts that
+//   * steady-state Cluster::step() performs no heap allocation at all —
+//     construction and warm-up may allocate, the per-cycle loop may not;
+//   * Json::dump()/dump_compact() allocate O(log n) buffers for an
+//     n-node document (single reserved output string, no per-node pads);
+//   * a warmed-up RingDeque really is allocation-free under sustained
+//     push/pop traffic.
+// The counter is process-global, so any background allocation would show
+// up here; tests run serially within the binary, which keeps the windows
+// attributable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "src/cluster/cluster.hpp"
+#include "src/common/json.hpp"
+#include "src/common/ring_deque.hpp"
+#include "src/kernels/axpy.hpp"
+#include "tests/support/test_support.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+std::uint64_t alloc_count() { return g_alloc_calls.load(std::memory_order_relaxed); }
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size != 0 ? size : 1) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+// Replacing these at global scope covers every allocation in the binary,
+// including the standard library's.
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align))) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align))) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace tcdm {
+namespace {
+
+TEST(HotPathAlloc, HookCountsAllocations) {
+  const std::uint64_t before = alloc_count();
+  auto* p = new int(42);
+  const std::uint64_t after = alloc_count();
+  delete p;
+  EXPECT_GE(after - before, 1u);
+}
+
+TEST(HotPathAlloc, ClusterSteadyStateStepIsAllocationFree) {
+  // MP4Spatz4 with GF4 bursts: the full hot path — vector loads/stores,
+  // burst merge, hierarchical network, barriers — on a kernel big enough
+  // that thousands of steady-state cycles remain after warm-up.
+  Cluster cluster(test::mp4_config(4));
+  AxpyKernel kernel(4096);
+  cluster.set_watchdog_window(1'000'000);
+  kernel.setup(cluster);
+
+  // Warm-up: queues reach their high-water occupancy and every grow-only
+  // ring its final capacity.
+  bool halted = false;
+  for (int i = 0; i < 1000 && !halted; ++i) halted = cluster.step();
+  ASSERT_FALSE(halted) << "kernel finished during warm-up; enlarge it";
+
+  const std::uint64_t before = alloc_count();
+  int steps = 0;
+  for (; steps < 1000 && !halted; ++steps) halted = cluster.step();
+  const std::uint64_t allocs = alloc_count() - before;
+  EXPECT_EQ(allocs, 0u) << allocs << " heap allocations in " << steps
+                        << " steady-state step() calls (hot-path rule P1)";
+
+  // The run must still complete and verify — the window above was real work.
+  while (!halted) halted = cluster.step();
+  EXPECT_TRUE(kernel.verify(cluster));
+}
+
+TEST(HotPathAlloc, JsonDumpAllocationsStaySublinear) {
+  // A document with tens of thousands of nodes, like a big metrics export.
+  Json::Array arr;
+  for (int i = 0; i < 20000; ++i) arr.emplace_back(i);
+  Json doc;
+  doc.set("values", Json(std::move(arr)));
+  doc.set("name", "alloc-growth-sanity");
+
+  const std::uint64_t before = alloc_count();
+  const std::string pretty = doc.dump();
+  const std::uint64_t pretty_allocs = alloc_count() - before;
+
+  const std::uint64_t before_compact = alloc_count();
+  const std::string compact = doc.dump_compact();
+  const std::uint64_t compact_allocs = alloc_count() - before_compact;
+
+  EXPECT_GT(pretty.size(), 100000u);  // the document really is large
+  // One output buffer doubling from 256 bytes amortizes to O(log n)
+  // allocations; the former per-node pad strings would blow way past this.
+  EXPECT_LT(pretty_allocs, 64u);
+  EXPECT_LT(compact_allocs, 64u);
+}
+
+TEST(HotPathAlloc, WarmRingDequeDoesNotAllocate) {
+  RingDeque<int> q(8);
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 10000; ++i) {
+    q.pop_front();
+    q.push_back(i);
+  }
+  EXPECT_EQ(alloc_count() - before, 0u);
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -1,0 +1,308 @@
+// Unit tests for the allocation-free hot-path containers (hot-path rule P1,
+// docs/ARCHITECTURE.md): InlineVec (fixed-capacity inline storage),
+// RingDeque (grow-only power-of-two ring), and ActiveBitmap (O(set bits)
+// index scans). These back every per-cycle queue in the simulator, so their
+// edge cases — wrap-around, capacity growth, rotating scans — get directed
+// coverage here rather than only through whole-cluster runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/active_bitmap.hpp"
+#include "src/common/inline_vec.hpp"
+#include "src/common/ring_deque.hpp"
+
+namespace tcdm {
+namespace {
+
+// ----------------------------------------------------------------- InlineVec
+
+TEST(InlineVec, StartsEmptyWithFixedCapacity) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  using Vec7 = InlineVec<int, 7>;
+  EXPECT_EQ(Vec7::capacity(), 7u);
+}
+
+TEST(InlineVec, PushBackIndexAndIterate) {
+  InlineVec<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_FALSE(v.empty());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], static_cast<int>(i) * 10);
+  }
+  int sum = 0;
+  for (const int x : v) sum += x;  // range-for via begin()/end()
+  EXPECT_EQ(sum, 0 + 10 + 20 + 30 + 40);
+}
+
+TEST(InlineVec, FillToCapacity) {
+  InlineVec<unsigned, 3> v;
+  v.push_back(1u);
+  v.push_back(2u);
+  v.push_back(3u);
+  EXPECT_EQ(v.size(), v.capacity());
+  EXPECT_EQ(v[2], 3u);
+}
+
+TEST(InlineVec, ClearKeepsCapacityAndAllowsRefill) {
+  InlineVec<int, 4> v;
+  v.push_back(7);
+  v.push_back(8);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.begin(), v.end());
+  v.push_back(9);  // slots are reused, not reconstructed
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(InlineVec, MutationThroughIndexAndIterator) {
+  InlineVec<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v[0] = 100;
+  *(v.begin() + 1) = 200;
+  EXPECT_EQ(v[0], 100);
+  EXPECT_EQ(v[1], 200);
+}
+
+TEST(InlineVec, CopySemanticsAreValueSemantics) {
+  InlineVec<int, 4> a;
+  a.push_back(1);
+  a.push_back(2);
+  InlineVec<int, 4> b = a;  // aggregate copy: size + slots
+  b.push_back(3);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  b[0] = -1;
+  EXPECT_EQ(a[0], 1);  // no shared storage
+}
+
+TEST(InlineVec, NonTrivialElementsSurviveClearReuse) {
+  // Per the header contract, elements need only be default-constructible
+  // and assignable; a popped/cleared slot keeps its old value alive until
+  // overwritten. std::string exercises real assignment.
+  InlineVec<std::string, 3> v;
+  v.push_back(std::string("alpha"));
+  v.push_back(std::string("beta"));
+  EXPECT_EQ(v[1], "beta");
+  v.clear();
+  v.push_back(std::string("gamma"));
+  EXPECT_EQ(v[0], "gamma");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(InlineVec, MovePushMovesTheElement) {
+  InlineVec<std::vector<int>, 2> v;
+  std::vector<int> payload{1, 2, 3};
+  const int* data = payload.data();
+  v.push_back(std::move(payload));
+  EXPECT_EQ(v[0].data(), data);  // buffer moved, not copied
+  EXPECT_EQ(v[0].size(), 3u);
+}
+
+#ifndef NDEBUG
+TEST(InlineVecDeathTest, OverflowAsserts) {
+  InlineVec<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_DEATH(v.push_back(3), "InlineVec overflow");
+}
+#endif
+
+// ----------------------------------------------------------------- RingDeque
+
+TEST(RingDeque, FifoOrder) {
+  RingDeque<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingDeque, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(RingDeque<int>(1).capacity(), 2u);   // floor of 2
+  EXPECT_EQ(RingDeque<int>(5).capacity(), 8u);
+  EXPECT_EQ(RingDeque<int>(8).capacity(), 8u);
+  EXPECT_EQ(RingDeque<int>(9).capacity(), 16u);
+}
+
+TEST(RingDeque, WrapAroundManyTimes) {
+  RingDeque<int> q(4);
+  int next_in = 0;
+  int next_out = 0;
+  // Sustained push/pop traffic cycles rd_ through the buffer repeatedly.
+  for (int round = 0; round < 100; ++round) {
+    q.push_back(next_in++);
+    q.push_back(next_in++);
+    EXPECT_EQ(q.front(), next_out);
+    q.pop_front();
+    ++next_out;
+  }
+  EXPECT_EQ(q.size(), 100u);
+  while (!q.empty()) {
+    EXPECT_EQ(q.front(), next_out++);
+    q.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingDeque, GrowthPreservesFifoOrderAcrossWrap) {
+  RingDeque<int> q(2);
+  // Misalign rd_ first so growth has to linearize a wrapped buffer.
+  q.push_back(-1);
+  q.pop_front();
+  for (int i = 0; i < 50; ++i) q.push_back(i);  // forces several doublings
+  EXPECT_GE(q.capacity(), 64u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+}
+
+TEST(RingDeque, AtInspectsFifoPositions) {
+  RingDeque<int> q(4);
+  q.push_back(10);
+  q.push_back(20);
+  q.push_back(30);
+  q.pop_front();
+  q.push_back(40);  // wraps
+  EXPECT_EQ(q.at(0), 20);
+  EXPECT_EQ(q.at(1), 30);
+  EXPECT_EQ(q.at(2), 40);
+}
+
+TEST(RingDeque, ClearKeepsGrownCapacity) {
+  RingDeque<int> q(2);
+  for (int i = 0; i < 20; ++i) q.push_back(i);
+  const std::size_t grown = q.capacity();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), grown);  // steady-state reuse: never shrinks
+  q.push_back(99);
+  EXPECT_EQ(q.front(), 99);
+}
+
+TEST(RingDeque, WarmedUpQueueNeverReallocates) {
+  RingDeque<int> q(8);
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  const std::size_t cap = q.capacity();
+  for (int i = 0; i < 1000; ++i) {
+    q.pop_front();
+    q.push_back(i);
+    EXPECT_EQ(q.capacity(), cap);  // occupancy <= capacity: no growth
+  }
+}
+
+// --------------------------------------------------------------- ActiveBitmap
+
+TEST(ActiveBitmap, SetTestClear) {
+  ActiveBitmap bm;
+  bm.init(130);  // three 64-bit words, last one partial
+  EXPECT_FALSE(bm.any());
+  EXPECT_EQ(bm.count(), 0u);
+  bm.set(0);
+  bm.set(63);
+  bm.set(64);
+  bm.set(129);
+  EXPECT_TRUE(bm.any());
+  EXPECT_EQ(bm.count(), 4u);
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_FALSE(bm.test(62));
+  bm.clear(63);
+  EXPECT_FALSE(bm.test(63));
+  EXPECT_EQ(bm.count(), 3u);
+  bm.clear_all();
+  EXPECT_FALSE(bm.any());
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(ActiveBitmap, InitResizesAndClears) {
+  ActiveBitmap bm;
+  bm.init(10);
+  bm.set(3);
+  bm.init(10);  // re-init drops previous state
+  EXPECT_FALSE(bm.any());
+  bm.init(200);
+  bm.set(199);
+  EXPECT_TRUE(bm.test(199));
+}
+
+TEST(ActiveBitmap, FirstSetAtOrAfter) {
+  ActiveBitmap bm;
+  bm.init(200);
+  bm.set(5);
+  bm.set(64);
+  bm.set(191);
+  EXPECT_EQ(bm.first_set_at_or_after(0), 5);
+  EXPECT_EQ(bm.first_set_at_or_after(5), 5);   // inclusive lower bound
+  EXPECT_EQ(bm.first_set_at_or_after(6), 64);  // crosses a word boundary
+  EXPECT_EQ(bm.first_set_at_or_after(64), 64);
+  EXPECT_EQ(bm.first_set_at_or_after(65), 191);
+  EXPECT_EQ(bm.first_set_at_or_after(192), -1);  // none above
+  EXPECT_EQ(bm.first_set_at_or_after(1000), -1);  // past the bitmap
+}
+
+TEST(ActiveBitmap, FirstSetSupportsRotatingScans) {
+  // The round-robin idiom: scan from rr, wrap to 0 on a miss.
+  ActiveBitmap bm;
+  bm.init(8);
+  bm.set(1);
+  bm.set(6);
+  int idx = bm.first_set_at_or_after(7);
+  if (idx < 0) idx = bm.first_set_at_or_after(0);
+  EXPECT_EQ(idx, 1);
+}
+
+TEST(ActiveBitmap, ForEachVisitsAscending) {
+  ActiveBitmap bm;
+  bm.init(150);
+  const std::vector<std::size_t> want{0, 7, 63, 64, 65, 127, 128, 149};
+  for (const std::size_t i : want) bm.set(i);
+  std::vector<std::size_t> got;
+  bm.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(ActiveBitmap, ForEachLiveSeesHigherMutationsOnly) {
+  // Per the header contract: sets at indexes above the current one are
+  // observed in the same pass; sets at or below are not revisited.
+  ActiveBitmap bm;
+  bm.init(64);
+  bm.set(10);
+  std::vector<std::size_t> got;
+  bm.for_each_live([&](std::size_t i) {
+    got.push_back(i);
+    if (i == 10) {
+      bm.set(3);   // below: must not be revisited this pass
+      bm.set(40);  // above: must be visited this pass
+    }
+  });
+  EXPECT_EQ(got, (std::vector<std::size_t>{10, 40}));
+  EXPECT_TRUE(bm.test(3));  // still set for the next pass
+}
+
+TEST(ActiveBitmap, ForEachLiveClearedEntriesAreSkipped) {
+  ActiveBitmap bm;
+  bm.init(64);
+  bm.set(4);
+  bm.set(20);
+  bm.set(33);
+  std::vector<std::size_t> got;
+  bm.for_each_live([&](std::size_t i) {
+    got.push_back(i);
+    if (i == 4) bm.clear(20);  // cleared before reached: skipped
+  });
+  EXPECT_EQ(got, (std::vector<std::size_t>{4, 33}));
+}
+
+}  // namespace
+}  // namespace tcdm
