@@ -39,7 +39,9 @@ set(expected_tokens
   --objective --area-cap --budget --cache --state --resume --no-prune
   --report --stats-out --fail-after
   # --stepping mode values
-  event cycle check)
+  event cycle check
+  # system-layer scenario surface: the scale-out block and its barrier kinds
+  system barrier_kind central tree butterfly)
 
 set(missing "")
 foreach(tok ${expected_tokens})

@@ -123,6 +123,18 @@ class FieldReader {
     out = static_cast<UInt>(v.as_double());
   }
 
+  /// Optional fields (written only off-default, e.g. the system dimension):
+  /// absent keys keep `out` untouched but still count as seen for finish().
+  template <typename UInt>
+  void opt_uint(const char* name, UInt& out) {
+    if (j_.contains(name)) uint(name, out);
+    seen_.insert(name);
+  }
+  void opt_num(const char* name, double& out) {
+    if (j_.contains(name)) num(name, out);
+    seen_.insert(name);
+  }
+
   /// Call after reading every field: rejects unknown keys by name.
   void finish() const {
     for (const auto& [key, val] : j_.as_object()) {
@@ -166,6 +178,10 @@ Json kernel_metrics_to_json(const KernelMetrics& m) {
   j.set("arithmetic_intensity", m.arithmetic_intensity);
   j.set("verified", m.verified);
   j.set("timed_out", m.timed_out);
+  // System dimension, off-default only: cluster-run documents stay
+  // byte-identical to the pre-system-layer writer.
+  if (m.clusters != 1) j.set("clusters", m.clusters);
+  if (m.noc_bytes != 0.0) j.set("noc_bytes", m.noc_bytes);
   return j;
 }
 
@@ -187,6 +203,8 @@ KernelMetrics kernel_metrics_from_json(const Json& j, const std::string& path) {
   r.num("arithmetic_intensity", m.arithmetic_intensity);
   r.boolean("verified", m.verified);
   r.boolean("timed_out", m.timed_out);
+  r.opt_uint("clusters", m.clusters);
+  r.opt_num("noc_bytes", m.noc_bytes);
   r.finish();
   return m;
 }

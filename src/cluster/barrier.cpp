@@ -1,0 +1,67 @@
+#include "src/cluster/barrier.hpp"
+
+namespace tcdm {
+namespace {
+
+// ceil(log_radix(n)) for n >= 1: the number of tree levels (or butterfly
+// stages for radix 2) needed to cover n members.
+unsigned ceil_log(unsigned n, unsigned radix) {
+  unsigned levels = 0;
+  unsigned reach = 1;
+  while (reach < n) {
+    reach *= radix;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+const char* barrier_kind_name(BarrierKind kind) noexcept {
+  switch (kind) {
+    case BarrierKind::kCentral:
+      return "central";
+    case BarrierKind::kTree:
+      return "tree";
+    case BarrierKind::kButterfly:
+      return "butterfly";
+  }
+  return "central";
+}
+
+BarrierKind barrier_kind_from_name(const std::string& name) {
+  if (name == "central") return BarrierKind::kCentral;
+  if (name == "tree") return BarrierKind::kTree;
+  if (name == "butterfly") return BarrierKind::kButterfly;
+  throw std::invalid_argument("unknown barrier kind '" + name +
+                              "' (expected central, tree, or butterfly)");
+}
+
+TreeBarrier::TreeBarrier(unsigned num_cores, unsigned link_latency, unsigned radix)
+    : Barrier(num_cores), link_latency_(link_latency), radix_(radix) {
+  if (radix_ < 2) {
+    throw std::invalid_argument("tree barrier radix must be >= 2, got " +
+                                std::to_string(radix_));
+  }
+  levels_ = ceil_log(num_cores, radix_);
+}
+
+ButterflyBarrier::ButterflyBarrier(unsigned num_cores, unsigned link_latency)
+    : Barrier(num_cores), link_latency_(link_latency) {
+  stages_ = ceil_log(num_cores, 2);
+}
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, unsigned num_cores,
+                                      unsigned latency, unsigned radix) {
+  switch (kind) {
+    case BarrierKind::kCentral:
+      return std::make_unique<CentralBarrier>(num_cores, latency);
+    case BarrierKind::kTree:
+      return std::make_unique<TreeBarrier>(num_cores, latency, radix);
+    case BarrierKind::kButterfly:
+      return std::make_unique<ButterflyBarrier>(num_cores, latency);
+  }
+  return std::make_unique<CentralBarrier>(num_cores, latency);
+}
+
+}  // namespace tcdm

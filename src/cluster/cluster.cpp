@@ -28,7 +28,8 @@ Cluster::Cluster(const ClusterConfig& cfg, const SimOptions& sim)
     : cfg_(cfg),
       topo_(cfg.topology()),
       map_(cfg.address_map()),
-      barrier_(cfg.num_cores(), auto_barrier_latency(cfg, topo_)),
+      barrier_(make_barrier(cfg.barrier_kind, cfg.num_cores(),
+                            auto_barrier_latency(cfg, topo_), cfg.barrier_radix)),
       watchdog_(100'000),
       sim_threads_(resolve_sim_threads(sim, cfg.num_tiles)),
       stepping_(sim.stepping) {
@@ -38,7 +39,7 @@ Cluster::Cluster(const ClusterConfig& cfg, const SimOptions& sim)
   net_ = std::make_unique<HierNetwork>(topo_, net_cfg, stats_);
   tiles_.reserve(cfg_.num_tiles);
   for (TileId t = 0; t < cfg_.num_tiles; ++t) {
-    tiles_.push_back(std::make_unique<Tile>(cfg_, t, *net_, map_, barrier_, stats_));
+    tiles_.push_back(std::make_unique<Tile>(cfg_, t, *net_, map_, *barrier_, stats_));
   }
   if (sim_threads_ > 1) pool_ = std::make_unique<WorkerPool>(sim_threads_);
   active_tiles_.reserve(cfg_.num_tiles);
@@ -106,7 +107,7 @@ void Cluster::reset() {
   watchdog_.set_window(100'000);  // ctor default; undo set_watchdog_window
   watchdog_.note_progress(0);
   stats_.reset();  // zero every slot; Counter handles remain valid
-  barrier_.reset();
+  barrier_->reset();
   net_->reset();
   for (auto& tile : tiles_) tile->reset();
   programs_.clear();
@@ -156,7 +157,7 @@ bool Cluster::step() {
   net_->commit_deferred();
 
   // Phase 4 — barrier release, watchdog and halt detection (serial).
-  barrier_.cycle(now);
+  barrier_->cycle(now);
 
   double token = 0.0;
   bool all_halted = true;
@@ -200,8 +201,8 @@ Cycle Cluster::earliest_event(SkipPlan& plan) {
   const Cycle net_wake = net_->earliest_wakeup(now);
   if (net_wake <= now) return now;
   wake = std::min(wake, net_wake);
-  if (barrier_.release_pending()) {
-    const Cycle release = barrier_.release_at();
+  if (barrier_->release_pending()) {
+    const Cycle release = barrier_->release_at();
     if (release <= now) return now;
     wake = std::min(wake, release);
   }
@@ -257,6 +258,21 @@ void Cluster::cross_check_span(Cycle claimed_event, Cycle target) {
   }
 }
 
+Cycle Cluster::next_event() {
+  Cycle event = earliest_event(plan_);
+  if (wakeup_bias_ != 0 && event != kNoCycle) event += wakeup_bias_;
+  return event;
+}
+
+void Cluster::skip_to(Cycle target) {
+  const Cycle now = clock_.now();
+  assert(target > now);
+  const auto skipped = static_cast<double>(target - now);
+  plan_.apply(skipped);
+  cycles_skipped_.inc(skipped);
+  clock_.advance_by(target - now);
+}
+
 RunOutcome Cluster::run(Cycle max_cycles) {
   if (programs_.empty()) throw std::logic_error("run: no program loaded");
   RunOutcome out;
@@ -279,8 +295,7 @@ RunOutcome Cluster::run(Cycle max_cycles) {
     // the decisions event mode takes.
     if (mem_phase_active_) continue;
 
-    Cycle event = earliest_event(plan_);
-    if (wakeup_bias_ != 0 && event != kNoCycle) event += wakeup_bias_;
+    const Cycle event = next_event();
     if (event <= now) continue;  // work this cycle — no skip
     // Never jump past the watchdog deadline (the deadlock diagnostic must
     // fire at the reference cycle) or the caller's cycle budget; declared
@@ -290,10 +305,7 @@ RunOutcome Cluster::run(Cycle max_cycles) {
     if (jump_to <= now) continue;
 
     if (stepping_ == SteppingMode::kEventDriven) {
-      const auto skipped = static_cast<double>(jump_to - now);
-      plan_.apply(skipped);
-      cycles_skipped_.inc(skipped);
-      clock_.advance_by(jump_to - now);
+      skip_to(jump_to);
     } else {
       cross_check_span(event, jump_to);
     }

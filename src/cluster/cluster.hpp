@@ -128,6 +128,59 @@ class Cluster final : public RspSink {
   /// Set the watchdog's no-progress window (cycles).
   void set_watchdog_window(Cycle window) { watchdog_.set_window(window); }
 
+  // ---- composable wakeup/skip surface ----
+  // The event-driven run() loop, factored so an outer composition layer
+  // (src/system/) can drive several clusters in lockstep under one global
+  // skip decision while each cluster keeps its own EV1–EV3 contract. The
+  // protocol per quiet-span decision is exactly run()'s:
+  //
+  //   step() … until it returns false and mem_phase_active() is false,
+  //   e = next_event()            — fills the internal SkipPlan,
+  //   jump = min(e, watchdog_deadline(), <caller events and budgets>),
+  //   skip_to(jump)               — or cross_check_to(e, jump) in check mode.
+  //
+  // Any callback between next_event() and skip_to() that injects work into
+  // the cluster (backdoor writes aside) invalidates the plan; re-query.
+
+  /// True when the last step()'s memory phase had work: some tile streams
+  /// beats next cycle too, so a skip probe cannot pay — callers use this as
+  /// the O(1) may-probe gate exactly as run() does.
+  [[nodiscard]] bool mem_phase_active() const noexcept { return mem_phase_active_; }
+
+  /// Global next-event query at the current cycle, with the quiet span's
+  /// declared per-cycle counter rates captured into the internal plan.
+  /// Returns `now` when some component has work this cycle (no skip
+  /// possible), kNoCycle when only external events can wake the cluster
+  /// (the plan's rates still apply while it waits). Includes the test-only
+  /// wakeup bias, so cross-check composition sees the biased value.
+  [[nodiscard]] Cycle next_event();
+
+  /// Jump the clock to `target`, bulk-applying the rates declared by the
+  /// last next_event() call. Caller contract: now < target <= the cycle
+  /// returned by next_event() (clamped by its own deadlines/budgets), and
+  /// no cluster state was touched in between.
+  void skip_to(Cycle target);
+
+  /// kCrossCheck composition: reference-step [now, target) one cycle at a
+  /// time verifying EV1/EV2 against the last next_event() decision (whose
+  /// claimed event cycle is `claimed_event`), throwing WakeupContractError
+  /// on any violation.
+  void cross_check_to(Cycle claimed_event, Cycle target) {
+    cross_check_span(claimed_event, target);
+  }
+
+  /// Cycle at which the deadlock watchdog must fire (kNoCycle-saturating);
+  /// composed skips must never jump past it.
+  [[nodiscard]] Cycle watchdog_deadline() const noexcept { return watchdog_.deadline(); }
+
+  /// True when every hart has halted (same predicate step() returns).
+  [[nodiscard]] bool all_halted() const noexcept {
+    for (const auto& tile : tiles_) {
+      if (!tile->cc().halted()) return false;
+    }
+    return true;
+  }
+
   // ---- RspSink ----
   void deliver_rsp(const TcdmResp& rsp, Cycle now) override;
 
@@ -135,7 +188,7 @@ class Cluster final : public RspSink {
   [[nodiscard]] unsigned num_tiles() const noexcept {
     return static_cast<unsigned>(tiles_.size());
   }
-  [[nodiscard]] CentralBarrier& barrier() noexcept { return barrier_; }
+  [[nodiscard]] Barrier& barrier() noexcept { return *barrier_; }
   [[nodiscard]] HierNetwork& network() noexcept { return *net_; }
 
   // ---- aggregate metrics (over the whole run so far) ----
@@ -180,7 +233,7 @@ class Cluster final : public RspSink {
   Topology topo_;
   AddressMap map_;
   StatsRegistry stats_;
-  CentralBarrier barrier_;
+  std::unique_ptr<Barrier> barrier_;
   std::unique_ptr<HierNetwork> net_;
   std::vector<std::unique_ptr<Tile>> tiles_;
   std::vector<Program> programs_;

@@ -68,6 +68,9 @@ void ClusterConfig::validate() const {
   if (!is_pow2(num_tiles) || !is_pow2(banks_per_tile)) {
     throw std::invalid_argument(name + ": tile/bank counts must be powers of two");
   }
+  if (barrier_radix < 2) {
+    throw std::invalid_argument(name + ": barrier_radix must be >= 2");
+  }
 }
 
 ClusterConfig ClusterConfig::mp4spatz4() {
@@ -290,6 +293,12 @@ Json ClusterConfig::to_json() const {
   b.set("write_words_per_cycle", bm.write_words_per_cycle);
   j.set("bm", std::move(b));
   j.set("barrier_release_latency", barrier_release_latency);
+  // Emitted only off-default: pre-existing configs keep their byte-exact
+  // serialization (ClusterCache keys, explore config hashes, baselines).
+  if (barrier_kind != BarrierKind::kCentral) {
+    j.set("barrier_kind", std::string(barrier_kind_name(barrier_kind)));
+  }
+  if (barrier_radix != 2) j.set("barrier_radix", barrier_radix);
   j.set("start_stagger_cycles", start_stagger_cycles);
   j.set("freq_ss_mhz", freq_ss_mhz);
   j.set("freq_tt_mhz", freq_tt_mhz);
@@ -403,6 +412,14 @@ ClusterConfig ClusterConfig::from_json(const Json& j, const std::string& path) {
       cfg.bm = bm_from_json(val, cfg.bm, p);
     } else if (key == "barrier_release_latency") {
       cfg.barrier_release_latency = json_uint(val, p);
+    } else if (key == "barrier_kind") {
+      try {
+        cfg.barrier_kind = barrier_kind_from_name(json_str(val, p));
+      } catch (const std::invalid_argument& e) {
+        cfg_error(p, e.what());
+      }
+    } else if (key == "barrier_radix") {
+      cfg.barrier_radix = json_uint(val, p);
     } else if (key == "start_stagger_cycles") {
       cfg.start_stagger_cycles = json_uint(val, p);
     } else if (key == "freq_ss_mhz") {

@@ -9,6 +9,7 @@
 
 #include "src/burst/burst_manager.hpp"
 #include "src/burst/burst_sender.hpp"
+#include "src/cluster/barrier.hpp"
 #include "src/common/json.hpp"
 #include "src/interconnect/network.hpp"
 #include "src/interconnect/topology.hpp"
@@ -57,6 +58,10 @@ struct ClusterConfig {
 
   // ---- synchronization ----
   unsigned barrier_release_latency = 0;  // 0 -> auto: topology worst round-trip
+  /// Barrier implementation (src/cluster/barrier.hpp). For tree/butterfly,
+  /// barrier_release_latency (or its auto default) is the per-link latency.
+  BarrierKind barrier_kind = BarrierKind::kCentral;
+  unsigned barrier_radix = 2;  // tree barrier reduction radix (>= 2)
   /// Per-hart start skew in cycles, modeling MemPool's sequential wake-up
   /// loop (core 0 pokes each core's wake-up register in turn). Decorrelates
   /// the harts' memory sweeps, as in the RTL.

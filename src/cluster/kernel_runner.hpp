@@ -27,6 +27,16 @@ struct KernelMetrics {
   double arithmetic_intensity = 0.0;  // FLOP / byte
   bool verified = false;
   bool timed_out = false;
+
+  // ---- system dimension (src/system/) ----
+  /// Clusters the run spanned; 1 for plain cluster runs. The JSON round
+  /// trip omits the system fields at their defaults, so single-cluster
+  /// metrics documents are unchanged by the system layer.
+  unsigned clusters = 1;
+  /// Inter-cluster DMA payload bytes moved across the NoC (0 for cluster
+  /// runs; counted into bw_bytes_per_cycle but never into `bytes`, which
+  /// stays kernel traffic).
+  double noc_bytes = 0.0;
 };
 
 struct RunnerOptions {

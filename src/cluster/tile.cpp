@@ -15,7 +15,7 @@ BurstManagerConfig bm_config(const ClusterConfig& cfg) {
 }  // namespace
 
 Tile::Tile(const ClusterConfig& cfg, TileId id, HierNetwork& net, const AddressMap& map,
-           CentralBarrier& barrier, StatsRegistry& stats)
+           Barrier& barrier, StatsRegistry& stats)
     : id_(id), net_(net), map_(map), bm_(bm_config(cfg), map, id) {
   banks_.reserve(cfg.banks_per_tile);
   const std::string prefix = "tile" + std::to_string(id);

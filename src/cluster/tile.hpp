@@ -16,7 +16,7 @@ namespace tcdm {
 class Tile final : public TileServices {
  public:
   Tile(const ClusterConfig& cfg, TileId id, HierNetwork& net, const AddressMap& map,
-       CentralBarrier& barrier, StatsRegistry& stats);
+       Barrier& barrier, StatsRegistry& stats);
 
   // ---- TileServices ----
   [[nodiscard]] bool try_local_push(unsigned bank_in_tile, const BankReq& req) override;

@@ -45,6 +45,9 @@ Json canonical_point_json(const scenario::FileScenario& point) {
   opts.set("sim_threads", 0);
   doc.set("options", std::move(opts));
   doc.set("expect_verified", point.expect_verified);
+  // Only when present: cluster-only points keep their pre-system-layer
+  // canonical spelling, so existing explore caches stay valid.
+  if (point.system) doc.set("system", point.system->to_json());
   return doc;
 }
 

@@ -31,6 +31,7 @@ namespace builtin {
 void register_tables(ScenarioRegistry& reg);      // table1, table2, fig3, fig5
 void register_ablations(ScenarioRegistry& reg);   // ablation_{burst,gf,rob,store,stride}
 void register_extensions(ScenarioRegistry& reg);  // ext_kernels, pareto, traces, studies
+void register_system(ScenarioRegistry& reg);      // multi_cluster_scaling
 
 }  // namespace builtin
 }  // namespace tcdm::scenario

@@ -30,6 +30,7 @@ void register_builtin() {
     builtin::register_tables(reg);
     builtin::register_ablations(reg);
     builtin::register_extensions(reg);
+    builtin::register_system(reg);
   });
 }
 

@@ -10,6 +10,8 @@
 
 #include "src/cluster/cluster.hpp"
 #include "src/cluster/cluster_cache.hpp"
+#include "src/system/system.hpp"
+#include "src/system/system_runner.hpp"
 
 namespace tcdm::scenario {
 
@@ -60,18 +62,33 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_overr
   r.rel = spec.rel();
   try {
     const ClusterConfig cfg = spec.config();
-    const std::unique_ptr<Kernel> kernel = spec.kernel();
     SimOptions sim = spec.opts.sim;
     if (sim_threads_override > 0) sim.sim_threads = sim_threads_override;
     if (stepping_override) sim.stepping = *stepping_override;
-    // Reuse a cached cluster for this config shape when the caller provides
-    // a cache (sweeps); the fallback local is for one-off calls.
-    std::optional<Cluster> local;
-    Cluster& cluster =
-        cache != nullptr ? cache->acquire(cfg, sim) : local.emplace(cfg, sim);
-    r.metrics = run_kernel_on(cluster, *kernel, spec.opts);
-    r.power = estimate_power(cluster, r.metrics.cycles, cfg.freq_tt_mhz);
-    r.sim_cycles_skipped = cluster.cycles_skipped();
+    if (spec.system) {
+      // System scenarios build fresh (no cache: a System owns N clusters and
+      // suites sweep the cluster count, so shape reuse buys little here).
+      const SystemConfig syscfg = spec.system();
+      System system(syscfg, cfg, sim);
+      std::vector<std::unique_ptr<Kernel>> kernels;
+      kernels.reserve(system.num_clusters());
+      for (unsigned c = 0; c < system.num_clusters(); ++c) {
+        kernels.push_back(spec.kernel());
+      }
+      r.metrics = run_system_kernel(system, kernels, spec.opts);
+      r.power = estimate_system_power(system, r.metrics.cycles, cfg.freq_tt_mhz);
+      r.sim_cycles_skipped = system.cycles_skipped();
+    } else {
+      const std::unique_ptr<Kernel> kernel = spec.kernel();
+      // Reuse a cached cluster for this config shape when the caller provides
+      // a cache (sweeps); the fallback local is for one-off calls.
+      std::optional<Cluster> local;
+      Cluster& cluster =
+          cache != nullptr ? cache->acquire(cfg, sim) : local.emplace(cfg, sim);
+      r.metrics = run_kernel_on(cluster, *kernel, spec.opts);
+      r.power = estimate_power(cluster, r.metrics.cycles, cfg.freq_tt_mhz);
+      r.sim_cycles_skipped = cluster.cycles_skipped();
+    }
     if (r.metrics.timed_out) {
       r.error = "timed out after " + std::to_string(r.metrics.cycles) + " cycles";
     } else if (spec.opts.verify && spec.expect_verified && !r.metrics.verified) {

@@ -20,6 +20,7 @@
 #include "src/cluster/cluster_config.hpp"
 #include "src/cluster/kernel_runner.hpp"
 #include "src/kernels/kernel.hpp"
+#include "src/system/system_config.hpp"
 
 namespace tcdm::scenario {
 
@@ -74,6 +75,11 @@ struct ScenarioSpec {
   std::string name;
   std::function<ClusterConfig()> config;
   std::function<std::unique_ptr<Kernel>()> kernel;
+  /// Unset for plain cluster scenarios. When set, the runner builds a
+  /// System of `system().num_clusters` clusters of the `config()` shape,
+  /// instantiates `kernel()` once per cluster (weak scaling) and runs them
+  /// through src/system/system_runner.hpp.
+  std::function<SystemConfig()> system;
   RunnerOptions opts;
   /// When opts.verify is on, a run that completes but fails golden
   /// verification becomes an error unless this is cleared.

@@ -255,7 +255,7 @@ LoadedSuite parse_suite(const Json& doc, const std::string& source) {
     for (const auto& [key, val] : tpl.as_object()) {
       (void)val;
       if (key != "name" && key != "sweep" && key != "config" && key != "kernel" &&
-          key != "options" && key != "expect_verified") {
+          key != "options" && key != "expect_verified" && key != "system") {
         fail(source, tpath + "/" + key + ": unknown key");
       }
     }
@@ -302,6 +302,20 @@ LoadedSuite parse_suite(const Json& doc, const std::string& source) {
           sc.opts = runner_options_from_json(
               substitute(tpl.at("options"), bindings, source, tpath + "/options"),
               tpath + "/options");
+        }
+        if (tpl.contains("system")) {
+          sc.system = SystemConfig::from_json(
+              substitute(tpl.at("system"), bindings, source, tpath + "/system"),
+              tpath + "/system");
+          // Cross-field check the System constructor would reject anyway —
+          // surfaced at load time with the scenario path instead.
+          const unsigned tcdm_words = sc.config.num_banks() * sc.config.bank_words;
+          if (sc.system->dma_words > tcdm_words) {
+            fail(source, tpath + "/system/dma_words: " +
+                             std::to_string(sc.system->dma_words) +
+                             " exceeds the cluster TCDM capacity of " +
+                             std::to_string(tcdm_words) + " words");
+          }
         }
       } catch (const ScenarioFileError&) {
         throw;
@@ -376,6 +390,7 @@ void register_loaded_suite(ScenarioRegistry& reg, const LoadedSuite& suite) {
     s.kernel = [kernel = sc.kernel, cfg = sc.config] { return kernel.instantiate(cfg); };
     s.opts = sc.opts;
     s.expect_verified = sc.expect_verified;
+    if (sc.system) s.system = [sys = *sc.system] { return sys; };
     reg.add(std::move(s));
   }
 }

@@ -23,7 +23,9 @@
 //                    "burst": {"gf": 4, "max_burst_len": "{len}"}},
 //         "kernel": "{kernel.spec}",
 //         "options": {"verify": false, "max_cycles": 10000000},  // optional
-//         "expect_verified": true                                // optional
+//         "expect_verified": true,                               // optional
+//         "system": {"num_clusters": 4, "barrier_kind": "tree",  // optional
+//                    "dma_words": 256}
 //       }
 //     ]
 //   }
@@ -44,6 +46,7 @@
 // message alone.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -81,6 +84,9 @@ struct FileScenario {
   KernelSpec kernel;
   RunnerOptions opts;
   bool expect_verified = true;
+  /// Present when the template carries a "system" block: the scenario runs
+  /// num_clusters copies of `config` under the system layer (src/system/).
+  std::optional<SystemConfig> system;
 };
 
 /// A parsed suite file: the suite header plus its expanded scenarios.

@@ -7,6 +7,7 @@
 #include "src/cluster/cluster_config.hpp"
 #include "src/common/rng.hpp"
 #include "src/scenario/scenario_file.hpp"
+#include "src/system/system_config.hpp"
 
 namespace tcdm::scenario {
 
@@ -127,6 +128,31 @@ KernelChoice random_kernel(Xoshiro128& rng, const ClusterConfig& cfg) {
   return out;
 }
 
+/// A random-but-valid system block: power-of-two cluster count, a legal
+/// barrier kind (radix only drawn for the tree, which is the only kind
+/// that uses it), and a DMA exchange that always fits the cluster TCDM —
+/// dma_words stays far below the smallest generatable capacity (2 tiles x
+/// 2 banks x 1024 words), and validate() re-checks by construction.
+Json random_system(Xoshiro128& rng, const ClusterConfig& cfg, unsigned index) {
+  SystemConfig sys;
+  std::string name = "sys";  // split concatenation: GCC-12 -Wrestrict
+  name += std::to_string(index);
+  sys.name = name;
+  sys.num_clusters = 2u << rng.next_below(3);  // 2, 4 or 8 clusters
+  sys.barrier_kind = pick(rng, std::vector<BarrierKind>{BarrierKind::kCentral,
+                                                        BarrierKind::kTree,
+                                                        BarrierKind::kButterfly});
+  if (sys.barrier_kind == BarrierKind::kTree) {
+    sys.barrier_radix = pick(rng, std::vector<unsigned>{2, 4});
+  }
+  sys.dma_burst_len = 4u << rng.next_below(4);  // 4, 8, 16 or 32 words
+  sys.dma_words = 64u << rng.next_below(3);     // 64, 128 or 256 words
+  const unsigned tcdm_words = cfg.num_banks() * cfg.bank_words;
+  sys.dma_words = std::min(sys.dma_words, tcdm_words);
+  sys.validate();  // generator bug, not user error, if this ever throws
+  return sys.to_json();
+}
+
 }  // namespace
 
 Json generate_suite(const GenOptions& opts) {
@@ -152,6 +178,10 @@ Json generate_suite(const GenOptions& opts) {
     sc.set("config", cfg.to_json());
     sc.set("kernel", kernel.spec);
     sc.set("options", std::move(options));
+    // A quarter of the points scale out through the system layer: small
+    // cluster counts keep the fuzz sweep's wall-clock bounded while still
+    // exercising every barrier kind and the DMA burst range.
+    if (coin(rng, 1, 4)) sc.set("system", random_system(rng, cfg, i));
     scenarios.push_back(std::move(sc));
   }
 

@@ -5,7 +5,7 @@
 namespace tcdm {
 
 CoreComplex::CoreComplex(const CoreConfig& cfg, CoreId hartid, unsigned num_harts,
-                         CentralBarrier& barrier)
+                         Barrier& barrier)
     : hartid_(hartid),
       barrier_(barrier),
       snitch_(cfg.snitch, hartid, num_harts),

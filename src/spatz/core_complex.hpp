@@ -25,7 +25,7 @@ struct CoreConfig {
 class CoreComplex {
  public:
   CoreComplex(const CoreConfig& cfg, CoreId hartid, unsigned num_harts,
-              CentralBarrier& barrier);
+              Barrier& barrier);
 
   void attach_stats(StatsRegistry& reg, const std::string& prefix);
   void load_program(const Program* prog, Cycle start_cycle = 0);
@@ -65,7 +65,7 @@ class CoreComplex {
 
  private:
   CoreId hartid_;
-  CentralBarrier& barrier_;
+  Barrier& barrier_;
   Snitch snitch_;
   Spatz spatz_;
 };

@@ -143,7 +143,7 @@ bool Snitch::exec_vector(const Instr& i, Cycle now, SpatzFrontend& spatz) {
 }
 
 Cycle Snitch::earliest_wakeup(Cycle now, const SpatzFrontend& spatz,
-                              const CentralBarrier& barrier, SkipPlan& plan) const {
+                              const Barrier& barrier, SkipPlan& plan) const {
   if (halted_) return kNoCycle;
   if (now < stall_until_) return stall_until_;  // exact: cycle() is a no-op until then
   if (prog_ == nullptr) return now;
@@ -174,7 +174,7 @@ Cycle Snitch::earliest_wakeup(Cycle now, const SpatzFrontend& spatz,
 }
 
 void Snitch::cycle(Cycle now, TileServices& tile, SpatzFrontend& spatz,
-                   CentralBarrier& barrier) {
+                   Barrier& barrier) {
   if (halted_ || now < stall_until_) return;
   assert(prog_ != nullptr && pc_ < prog_->size());
   const Instr& i = prog_->at(pc_);
@@ -366,7 +366,7 @@ void Snitch::cycle(Cycle now, TileServices& tile, SpatzFrontend& spatz,
       if (!barrier_arrived_) {
         if (drained() && spatz.fully_idle()) {
           barrier_target_gen_ = barrier.generation() + 1;
-          barrier.arrive(now);
+          barrier.arrive(hartid_, now);
           barrier_arrived_ = true;
         }
         barrier_wait_cycles_.inc();

@@ -47,7 +47,7 @@ class Snitch {
     return static_cast<std::uint64_t>(instrs_.value());
   }
 
-  void cycle(Cycle now, TileServices& tile, SpatzFrontend& spatz, CentralBarrier& barrier);
+  void cycle(Cycle now, TileServices& tile, SpatzFrontend& spatz, Barrier& barrier);
 
   /// Event-driven stepping (docs/ARCHITECTURE.md, EV1/EV2): earliest cycle at
   /// which cycle() could change state, absent external events. Barrier- and
@@ -56,7 +56,7 @@ class Snitch {
   /// `now` (a too-early wakeup only forfeits a skip; a too-late one would be
   /// a contract violation).
   [[nodiscard]] Cycle earliest_wakeup(Cycle now, const SpatzFrontend& spatz,
-                                      const CentralBarrier& barrier, SkipPlan& plan) const;
+                                      const Barrier& barrier, SkipPlan& plan) const;
 
   // ---- memory response delivery ----
   void fill_scalar(std::uint16_t id, Word data, Cycle now);

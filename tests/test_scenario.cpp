@@ -62,12 +62,13 @@ TEST(ScenarioRegistry, BuiltinCatalogueCoversEveryPaperArtifact) {
   for (const char* suite :
        {"table1", "table2", "fig3_roofline", "fig5_breakdown", "ablation_burst",
         "ablation_gf", "ablation_rob", "ablation_store", "ablation_stride",
-        "ext_kernels", "pareto_area_bw", "trace_patterns", "explorer", "scaling"}) {
+        "ext_kernels", "pareto_area_bw", "trace_patterns", "multi_cluster_scaling",
+        "explorer", "scaling"}) {
     EXPECT_NE(reg.find_suite(suite), nullptr) << suite;
     EXPECT_FALSE(reg.suite_scenarios(suite).empty()) << suite;
   }
   // Every gated artifact emits by default; the interactive studies do not.
-  EXPECT_EQ(default_emit_suites(reg).size(), 12u);
+  EXPECT_EQ(default_emit_suites(reg).size(), 13u);
   EXPECT_FALSE(reg.suite("explorer").emit_by_default);
   EXPECT_FALSE(reg.suite("scaling").emit_by_default);
 }

@@ -1,0 +1,223 @@
+// System layer (src/system/): multi-cluster lockstep over the modeled
+// L2/NoC. Covers the N == 1 degenerate identity with a bare Cluster run,
+// bit-identical determinism across sim-thread counts and all three stepping
+// modes at N == 4, the P2 fresh-vs-reset identity, DMA payload accounting
+// and checksums, monotone aggregate-bandwidth weak scaling 1 -> 8, and
+// cross-kind correctness of the global barrier.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/kernel_runner.hpp"
+#include "src/kernels/axpy.hpp"
+#include "src/kernels/dotp.hpp"
+#include "src/system/system.hpp"
+#include "src/system/system_runner.hpp"
+#include "tests/support/test_support.hpp"
+
+namespace tcdm {
+namespace {
+
+using test::mp4_config;
+
+SystemConfig small_system(unsigned clusters) {
+  SystemConfig sys;
+  sys.name = "testsys";
+  sys.num_clusters = clusters;
+  sys.dma_words = 256;
+  sys.dma_burst_len = 16;
+  return sys;
+}
+
+std::vector<std::unique_ptr<Kernel>> axpy_per_cluster(unsigned n) {
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  for (unsigned c = 0; c < n; ++c) {
+    kernels.push_back(std::make_unique<AxpyKernel>(768, 1.25f, 11));
+  }
+  return kernels;
+}
+
+RunnerOptions capped_opts() {
+  RunnerOptions opts;
+  opts.max_cycles = 5'000'000;
+  return opts;
+}
+
+/// Everything a system run can observably produce, for bit-exact diffs.
+struct SystemImage {
+  KernelMetrics metrics;
+  std::vector<std::string> stats_json;  // per cluster, index order
+};
+
+SystemImage run_image(System& system) {
+  SystemImage img;
+  img.metrics =
+      run_system_kernel(system, axpy_per_cluster(system.num_clusters()), capped_opts());
+  for (unsigned c = 0; c < system.num_clusters(); ++c) {
+    img.stats_json.push_back(system.cluster(c).stats().to_json());
+  }
+  return img;
+}
+
+void expect_identical(const SystemImage& a, const SystemImage& b) {
+  EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+  EXPECT_EQ(a.metrics.flops, b.metrics.flops);
+  EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  EXPECT_EQ(a.metrics.noc_bytes, b.metrics.noc_bytes);
+  EXPECT_EQ(a.metrics.bw_bytes_per_cycle, b.metrics.bw_bytes_per_cycle);
+  EXPECT_EQ(a.metrics.verified, b.metrics.verified);
+  EXPECT_EQ(a.metrics.timed_out, b.metrics.timed_out);
+  ASSERT_EQ(a.stats_json.size(), b.stats_json.size());
+  for (std::size_t c = 0; c < a.stats_json.size(); ++c) {
+    EXPECT_EQ(a.stats_json[c], b.stats_json[c]) << "cluster " << c;
+  }
+}
+
+// ------------------------------------------------------------ degeneracy ----
+
+TEST(SystemDegenerate, SingleClusterMatchesBareClusterExactly) {
+  const ClusterConfig cfg = mp4_config(4);
+  AxpyKernel bare_kernel(768, 1.25f, 11);
+  Cluster bare(cfg, SimOptions{});
+  const KernelMetrics bare_m = run_kernel_on(bare, bare_kernel, capped_opts());
+
+  System system(small_system(1), cfg, SimOptions{});
+  const SystemImage sys = run_image(system);
+
+  EXPECT_EQ(sys.metrics.cycles, bare_m.cycles);
+  EXPECT_EQ(sys.metrics.flops, bare_m.flops);
+  EXPECT_EQ(sys.metrics.bytes, bare_m.bytes);
+  EXPECT_EQ(sys.metrics.clusters, 1u);
+  EXPECT_EQ(sys.metrics.noc_bytes, 0.0);  // no DMA phase at N == 1
+  EXPECT_EQ(sys.stats_json.front(), bare.stats().to_json());
+}
+
+// ---------------------------------------------------------- determinism ----
+
+TEST(SystemDeterminism, BitIdenticalAcrossThreadsAndSteppingModes) {
+  const ClusterConfig cfg = mp4_config(4);
+  const SystemConfig sys_cfg = small_system(4);
+
+  // Reference: serial, cycle-by-cycle.
+  System ref(sys_cfg, cfg, SimOptions{1, SteppingMode::kCycleByCycle});
+  const SystemImage ref_img = run_image(ref);
+  ASSERT_FALSE(ref_img.metrics.timed_out);
+  ASSERT_TRUE(ref_img.metrics.verified);
+
+  for (const unsigned threads : {1u, 4u}) {
+    for (const SteppingMode mode :
+         {SteppingMode::kEventDriven, SteppingMode::kCycleByCycle,
+          SteppingMode::kCrossCheck}) {
+      System sys(sys_cfg, cfg, SimOptions{threads, mode});
+      const SystemImage img = run_image(sys);
+      // Full per-cluster stats differ only in the `sim.*` bookkeeping
+      // counters across modes (EV1-EV3), so the cross-mode identity is
+      // asserted on the simulated state: metrics, payloads, verification.
+      EXPECT_EQ(img.metrics.cycles, ref_img.metrics.cycles)
+          << threads << " threads, mode " << static_cast<int>(mode);
+      EXPECT_EQ(img.metrics.flops, ref_img.metrics.flops);
+      EXPECT_EQ(img.metrics.noc_bytes, ref_img.metrics.noc_bytes);
+      EXPECT_EQ(img.metrics.verified, ref_img.metrics.verified);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- reset ----
+
+TEST(SystemReset, FreshAndResetRunsAreBitIdentical) {
+  const ClusterConfig cfg = mp4_config(4);
+  const SystemConfig sys_cfg = small_system(4);
+
+  System fresh(sys_cfg, cfg, SimOptions{});
+  const SystemImage ref = run_image(fresh);
+  ASSERT_FALSE(ref.metrics.timed_out);
+
+  // Dirty with a different kernel shape, then reset and re-run.
+  System reused(sys_cfg, cfg, SimOptions{});
+  std::vector<std::unique_ptr<Kernel>> dirt;
+  for (unsigned c = 0; c < 4; ++c) dirt.push_back(std::make_unique<DotpKernel>(512));
+  (void)run_system_kernel(reused, dirt, capped_opts());
+  reused.reset();
+  EXPECT_EQ(reused.now(), 0u);
+  EXPECT_FALSE(reused.done());
+  EXPECT_EQ(reused.global_barrier().generation(), 0u);
+  const SystemImage got = run_image(reused);
+  expect_identical(ref, got);
+}
+
+// ------------------------------------------------------------------ DMA ----
+
+TEST(SystemDma, MovesTheConfiguredPayloadAndChecksums) {
+  const ClusterConfig cfg = mp4_config(4);
+  SystemConfig sys_cfg = small_system(4);
+  System system(sys_cfg, cfg, SimOptions{});
+  const SystemImage img = run_image(system);
+  ASSERT_TRUE(img.metrics.verified);
+  // Every cluster gathers dma_words from its ring neighbor.
+  EXPECT_EQ(img.metrics.noc_bytes, 4.0 * sys_cfg.dma_words * kWordBytes);
+  EXPECT_TRUE(system.dma_checksums_ok());
+  EXPECT_TRUE(system.done());
+}
+
+TEST(SystemDma, ZeroWordsSkipsTheExchange) {
+  const ClusterConfig cfg = mp4_config(4);
+  SystemConfig sys_cfg = small_system(2);
+  sys_cfg.dma_words = 0;
+  System system(sys_cfg, cfg, SimOptions{});
+  const SystemImage img = run_image(system);
+  ASSERT_TRUE(img.metrics.verified);
+  EXPECT_EQ(img.metrics.noc_bytes, 0.0);
+  EXPECT_TRUE(system.done());
+}
+
+TEST(SystemDma, RejectsPayloadBeyondTcdmCapacity) {
+  const ClusterConfig cfg = mp4_config(0);
+  SystemConfig sys_cfg = small_system(2);
+  sys_cfg.dma_words = cfg.num_banks() * cfg.bank_words + 1;
+  EXPECT_THROW((System{sys_cfg, cfg, SimOptions{}}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- weak scaling ----
+
+TEST(SystemScaling, AggregateBandwidthIsMonotoneOneToEight) {
+  const ClusterConfig cfg = mp4_config(4);
+  double prev_bw = 0.0;
+  for (const unsigned n : {1u, 2u, 4u, 8u}) {
+    SystemConfig sys_cfg = small_system(n);
+    sys_cfg.dma_burst_len = 32;
+    System system(sys_cfg, cfg, SimOptions{});
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    for (unsigned c = 0; c < n; ++c) {
+      kernels.push_back(std::make_unique<DotpKernel>(4096));
+    }
+    const KernelMetrics m = run_system_kernel(system, kernels, capped_opts());
+    ASSERT_TRUE(m.verified) << n;
+    ASSERT_FALSE(m.timed_out) << n;
+    EXPECT_GT(m.bw_bytes_per_cycle, prev_bw) << n << " clusters";
+    prev_bw = m.bw_bytes_per_cycle;
+  }
+}
+
+// -------------------------------------------------------- barrier kinds ----
+
+TEST(SystemBarrierKinds, AllKindsCompleteAndVerify) {
+  const ClusterConfig cfg = mp4_config(4);
+  Cycle central_cycles = 0;
+  for (const BarrierKind kind :
+       {BarrierKind::kCentral, BarrierKind::kTree, BarrierKind::kButterfly}) {
+    SystemConfig sys_cfg = small_system(4);
+    sys_cfg.barrier_kind = kind;
+    System system(sys_cfg, cfg, SimOptions{});
+    EXPECT_EQ(system.global_barrier().kind(), kind);
+    const SystemImage img = run_image(system);
+    ASSERT_TRUE(img.metrics.verified) << barrier_kind_name(kind);
+    ASSERT_FALSE(img.metrics.timed_out) << barrier_kind_name(kind);
+    if (kind == BarrierKind::kCentral) central_cycles = img.metrics.cycles;
+  }
+  EXPECT_GT(central_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace tcdm

@@ -86,7 +86,11 @@ int usage(const char* argv0) {
       "\n"
       "  --stepping M   time advance per cluster: event (skip quiet spans,\n"
       "                 default), cycle (reference loop), check (skip decisions\n"
-      "                 verified cycle-by-cycle). All modes are bit-identical.\n",
+      "                 verified cycle-by-cycle). All modes are bit-identical.\n"
+      "\n"
+      "  Scenarios may scale out with a \"system\" block (N clusters over a\n"
+      "  modeled L2/NoC with inter-cluster DMA bursts); its barrier_kind is\n"
+      "  one of: central, tree, butterfly. `gen` emits such points too.\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
