@@ -1,7 +1,8 @@
 # CTest script: prove that a parallel `tcdm_run emit` is byte-identical to
-# the serial one. Runs the same suite twice — once with the default serial
-# sweep and stepping, once with the PAR_ARGS parallelism flags — and
-# compares the emitted JSON documents bit for bit.
+# the serial one. Runs the same suite twice — once with the SER_ARGS flags
+# (default: serial sweep, event-driven stepping), once with the PAR_ARGS
+# parallelism flags — and compares the emitted JSON documents bit for bit,
+# logging both md5 digests so the identity is auditable from the test log.
 #
 # Variables (passed with -D):
 #   TCDM_RUN  path to the tcdm_run binary
@@ -9,6 +10,9 @@
 #   OUT_DIR   scratch directory for the two emissions
 #   FILE      optional: a tcdm-scenarios suite file; the suite is then
 #             loaded with `--no-builtin --file` instead of from the builtins
+#   SER_ARGS  optional: flags for the reference emit (default: none) — use
+#             it to pin both legs to one stepping mode while only PAR_ARGS
+#             carries the parallelism under test
 #   PAR_ARGS  optional: parallelism flags for the second emit
 #             (default "--sim-threads 4")
 
@@ -20,7 +24,11 @@ endforeach()
 if(NOT DEFINED PAR_ARGS)
   set(PAR_ARGS "--sim-threads 4")
 endif()
+if(NOT DEFINED SER_ARGS)
+  set(SER_ARGS "")
+endif()
 separate_arguments(par_flags UNIX_COMMAND "${PAR_ARGS}")
+separate_arguments(ser_flags UNIX_COMMAND "${SER_ARGS}")
 
 set(base_args emit)
 set(select_args "${SUITE}")
@@ -32,7 +40,7 @@ endif()
 file(REMOVE_RECURSE "${OUT_DIR}")
 
 execute_process(
-  COMMAND "${TCDM_RUN}" ${base_args} --out "${OUT_DIR}/serial" ${select_args}
+  COMMAND "${TCDM_RUN}" ${base_args} ${ser_flags} --out "${OUT_DIR}/serial" ${select_args}
   RESULT_VARIABLE rc_serial)
 if(NOT rc_serial EQUAL 0)
   message(FATAL_ERROR "serial emit of ${SUITE} failed (exit ${rc_serial})")
@@ -45,13 +53,17 @@ if(NOT rc_par EQUAL 0)
   message(FATAL_ERROR "parallel (${PAR_ARGS}) emit of ${SUITE} failed (exit ${rc_par})")
 endif()
 
+file(MD5 "${OUT_DIR}/serial/${SUITE}.json" md5_serial)
+file(MD5 "${OUT_DIR}/par/${SUITE}.json" md5_par)
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E compare_files
           "${OUT_DIR}/serial/${SUITE}.json" "${OUT_DIR}/par/${SUITE}.json"
   RESULT_VARIABLE rc_cmp)
-if(NOT rc_cmp EQUAL 0)
+if(NOT rc_cmp EQUAL 0 OR NOT md5_serial STREQUAL md5_par)
   message(FATAL_ERROR
-          "parallel (${PAR_ARGS}) emission of ${SUITE} differs from the serial one")
+          "parallel (${PAR_ARGS}) emission of ${SUITE} differs from the serial "
+          "(${SER_ARGS}) one: md5 ${md5_par} vs ${md5_serial}")
 endif()
 
-message(STATUS "${SUITE}: ${PAR_ARGS} emission is byte-identical")
+message(STATUS
+        "${SUITE}: ${PAR_ARGS} emission is byte-identical (md5 ${md5_serial})")

@@ -7,6 +7,9 @@
 #   TCDM_RUN  path to the tcdm_run binary
 #   ARGS      space-separated argument string (may be empty)
 #   EXPECTED  required exit code
+#   MATCH     optional: a literal substring the combined stdout+stderr must
+#             contain — pins error-message contracts (e.g. which config a
+#             validation error names), not just the exit code
 
 foreach(var TCDM_RUN EXPECTED)
   if(NOT DEFINED ${var})
@@ -18,9 +21,18 @@ separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
 execute_process(
   COMMAND "${TCDM_RUN}" ${arg_list}
   RESULT_VARIABLE rc
-  OUTPUT_QUIET ERROR_QUIET)
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
 if(NOT rc EQUAL ${EXPECTED})
   message(FATAL_ERROR
           "tcdm_run ${ARGS}: expected exit code ${EXPECTED}, got ${rc}")
+endif()
+if(DEFINED MATCH)
+  string(FIND "${out}${err}" "${MATCH}" match_pos)
+  if(match_pos EQUAL -1)
+    message(FATAL_ERROR
+            "tcdm_run ${ARGS}: output does not contain \"${MATCH}\"\n"
+            "--- output ---\n${out}${err}")
+  endif()
 endif()
 message(STATUS "tcdm_run ${ARGS}: exit code ${rc} as expected")

@@ -65,6 +65,13 @@ struct SimOptions {
   unsigned sim_threads = 1;
   /// Time-advance strategy for run(); step() is always single-cycle.
   SteppingMode stepping = SteppingMode::kEventDriven;
+  /// Shard threads for the System layer's per-cluster concurrency
+  /// (`tcdm_run --shard-threads`); a bare Cluster ignores this. 0 (default)
+  /// defers to SystemConfig::shard_threads; N > 0 overrides it. The System
+  /// clamps the resolved count to its cluster count and splits the
+  /// sim_threads tile budget across the shards. Any value is bit-identical
+  /// to serial (docs/CONCURRENCY.md, S1-S3).
+  unsigned shard_threads = 0;
 };
 
 class Cluster final : public RspSink {

@@ -1,0 +1,78 @@
+// ShardExecutor: fork-join execution of per-shard work between global
+// synchronization points — the System layer's per-cluster concurrency
+// (docs/CONCURRENCY.md, invariants S1-S3).
+//
+// A shard span runs `fn(shard)` once for every shard in [0, n) across the
+// executor's threads and joins before returning, so the caller's serial
+// phases never observe a shard mid-flight (S1, shard rendezvous soundness).
+// The threading machinery is WorkerPool's — the same spin-then-park epoch
+// handshake the tile-parallel stepping engine dispatches phases on — so a
+// saturated System loop pays no per-cycle futex round trips and composed
+// pools (shards each driving a cluster's own tile pool) park under
+// oversubscription instead of spinning.
+//
+// Fault contract (S3, shard fault attribution): when shards throw inside a
+// span, the span still runs to completion and the exception of the LOWEST
+// shard index is rethrown on the calling thread — exactly the fault a
+// serial ascending-index loop would have surfaced first, so diagnostics are
+// bit-identical at any shard count. Unlike WorkerPool's single lowest-index
+// slot, every shard's exception is captured in a per-shard slot first; the
+// ordered rethrow is by construction, not by locking order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/worker_pool.hpp"
+
+namespace tcdm {
+
+class ShardExecutor {
+ public:
+  /// `threads` is the TOTAL shard-thread count including the calling
+  /// thread, exactly like WorkerPool. Must be >= 1.
+  explicit ShardExecutor(unsigned threads) : pool_(threads) {}
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.threads(); }
+
+  /// True while a span is executing. Serial phases assert this is false
+  /// before touching cross-shard state (S2, serial-phase ordering).
+  [[nodiscard]] bool in_span() const noexcept {
+    return in_span_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker epochs dispatched so far; spans that take WorkerPool's inline
+  /// path (n <= 1, or a single-thread executor) do not bump this.
+  [[nodiscard]] std::uint64_t spans_dispatched() const noexcept {
+    return pool_.epochs_dispatched();
+  }
+
+  /// Run `fn(ctx, shard)` for every shard in [0, n) and join. Not
+  /// reentrant (a nested span would let serial phases interleave with
+  /// shard work — an S1 violation, reported as std::logic_error).
+  void run_raw(unsigned n, void (*fn)(void*, unsigned), void* ctx);
+
+  /// Type-safe wrapper over run_raw for any callable `fn(unsigned)`.
+  template <typename Fn>
+  void run(unsigned n, Fn&& fn) {
+    using Decayed = std::remove_reference_t<Fn>;
+    run_raw(n, [](void* ctx, unsigned i) { (*static_cast<Decayed*>(ctx))(i); },
+            const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+ private:
+  WorkerPool pool_;
+  std::atomic<bool> in_span_{false};
+  // Per-shard exception slots (distinct indices, no locking) plus a count
+  // so the clean path never scans. Slots are only cleared on the fault
+  // path; the vector grows to the largest span seen and is then reused.
+  std::vector<std::exception_ptr> faults_;
+  std::atomic<unsigned> fault_count_{0};
+};
+
+}  // namespace tcdm

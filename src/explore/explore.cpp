@@ -324,6 +324,9 @@ ExploreOutcome run_explore(const scenario::LoadedSuite& suite,
         };
         s.opts = sc.opts;
         s.expect_verified = sc.expect_verified;
+        // Without this a system point would silently simulate as a bare
+        // cluster — its hash and its metrics must both see the block.
+        if (sc.system) s.system = [sys = *sc.system] { return sys; };
         specs.push_back(std::move(s));
       }
       std::vector<const scenario::ScenarioSpec*> ptrs;
@@ -334,6 +337,7 @@ ExploreOutcome run_explore(const scenario::LoadedSuite& suite,
       sweep.jobs = opts.jobs;
       sweep.sim_threads = opts.sim_threads;
       sweep.stepping = opts.stepping;
+      sweep.shard_threads = opts.shard_threads;
       if (opts.log != nullptr) {
         sweep.on_done = [&](const scenario::ScenarioResult& r) {
           *opts.log << "  [sim] " << r.name

@@ -69,6 +69,10 @@ struct ExploreOptions {
   bool prune = true;
   unsigned jobs = 1;         // scenario-parallel sweep workers
   unsigned sim_threads = 0;  // tile-parallel stepping (0 = per-spec)
+  /// Shard threads for system points (0 = per-spec). A host knob like
+  /// sim_threads: results and memo keys are bit-identical at any value
+  /// (canonical_point_json excludes it from the config hash).
+  unsigned shard_threads = 0;
   /// Stepping-mode override for the sweep (unset = per-spec). Results,
   /// memo entries and reports are bit-identical in every mode.
   std::optional<SteppingMode> stepping;

@@ -123,9 +123,10 @@ class HierNetwork {
   /// Apply every staged cross-tile effect of send_req/send_rsp/
   /// send_store_ack in ascending source-tile order (within a tile, in call
   /// order) — byte-identical to a serial tile loop having sent them
-  /// directly. Must be called from a serial phase; the cluster invokes it
-  /// between the parallel phases of each cycle and cycle() re-runs it
-  /// defensively at its top.
+  /// directly (invariant D2, ascending-tile deferred commit; see
+  /// docs/CONCURRENCY.md). Must be called from a serial phase; the cluster
+  /// invokes it between the parallel phases of each cycle and cycle()
+  /// re-runs it defensively at its top.
   void commit_deferred();
 
   // ---- request egress: slave queues drained by the destination tile ----

@@ -44,6 +44,7 @@ std::vector<std::string> emit_suites(const ScenarioRegistry& reg,
   sweep.jobs = opts.jobs;
   sweep.sim_threads = opts.sim_threads;
   sweep.stepping = opts.stepping;
+  sweep.shard_threads = opts.shard_threads;
   unsigned done = 0;
   if (opts.log != nullptr) {
     sweep.on_done = [&](const ScenarioResult& r) {

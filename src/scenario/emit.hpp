@@ -30,6 +30,9 @@ struct EmitOptions {
   /// Tile-parallel stepping threads per cluster (see SweepOptions);
   /// 0 keeps each spec's own setting. Emissions stay byte-identical.
   unsigned sim_threads = 0;
+  /// Shard threads for system scenarios (see SweepOptions); 0 keeps each
+  /// spec's setting. Emissions are byte-identical at any value.
+  unsigned shard_threads = 0;
   /// Stepping-mode override (see SweepOptions); unset keeps each spec's
   /// setting. Emissions stay byte-identical in every mode.
   std::optional<SteppingMode> stepping;

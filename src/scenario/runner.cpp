@@ -56,7 +56,7 @@ const PowerBreakdown& ResultSet::power(const std::string& rel) const {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_override,
                             std::optional<SteppingMode> stepping_override,
-                            ClusterCache* cache) {
+                            ClusterCache* cache, unsigned shard_threads_override) {
   ScenarioResult r;
   r.name = spec.name;
   r.rel = spec.rel();
@@ -65,6 +65,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned sim_threads_overr
     SimOptions sim = spec.opts.sim;
     if (sim_threads_override > 0) sim.sim_threads = sim_threads_override;
     if (stepping_override) sim.stepping = *stepping_override;
+    if (shard_threads_override > 0) sim.shard_threads = shard_threads_override;
     if (spec.system) {
       // System scenarios build fresh (no cache: a System owns N clusters and
       // suites sweep the cluster count, so shape reuse buys little here).
@@ -113,7 +114,8 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>
   if (jobs <= 1) {
     ClusterCache cache;
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping, &cache);
+      slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping, &cache,
+                              opts.shard_threads);
       if (opts.on_done) opts.on_done(slots[i]);
     }
   } else {
@@ -124,7 +126,8 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<const ScenarioSpec*>
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= specs.size()) return;
-        slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping, &cache);
+        slots[i] = run_scenario(*specs[i], opts.sim_threads, opts.stepping, &cache,
+                                opts.shard_threads);
         if (opts.on_done) {
           const std::lock_guard<std::mutex> lock(done_mutex);
           opts.on_done(slots[i]);

@@ -33,6 +33,11 @@ struct SweepOptions {
   /// spec's SimOptions value (event-driven unless a caller changed it); set,
   /// it applies to every scenario of the sweep. Bit-identical either way.
   std::optional<SteppingMode> stepping;
+  /// Shard threads for system scenarios (tcdm_run --shard-threads): the N
+  /// clusters of a "system" block step concurrently between global sync
+  /// points. 0 keeps each spec's setting; cluster-only scenarios ignore it.
+  /// Bit-identical to serial at any value (docs/CONCURRENCY.md, S1-S3).
+  unsigned shard_threads = 0;
   /// Progress callback, invoked as each scenario finishes (serialized; may
   /// be called from worker threads but never concurrently).
   std::function<void(const ScenarioResult&)> on_done;
@@ -41,14 +46,17 @@ struct SweepOptions {
 /// Run one scenario on a fresh cluster. Never throws: failures (exceptions,
 /// timeouts, failed expected verification) land in ScenarioResult::error.
 /// `sim_threads_override` > 0 replaces the spec's RunnerOptions sim_threads;
-/// a set `stepping_override` replaces its stepping mode. With a non-null
-/// `cache`, the cluster is drawn from it (reset-reuse per config shape —
-/// bit-identical results, docs/ARCHITECTURE.md P2) instead of constructed;
-/// the cache must not be shared across threads.
+/// a set `stepping_override` replaces its stepping mode;
+/// `shard_threads_override` > 0 replaces the shard count of a system
+/// scenario (ignored otherwise). With a non-null `cache`, the cluster is
+/// drawn from it (reset-reuse per config shape — bit-identical results,
+/// docs/ARCHITECTURE.md P2) instead of constructed; the cache must not be
+/// shared across threads.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
                                           unsigned sim_threads_override = 0,
                                           std::optional<SteppingMode> stepping_override = {},
-                                          ClusterCache* cache = nullptr);
+                                          ClusterCache* cache = nullptr,
+                                          unsigned shard_threads_override = 0);
 
 /// Run every scenario in `specs` and collect results in the same order.
 /// The selection may span suites; group with group_by_suite for per-suite

@@ -313,8 +313,11 @@ LoadedSuite parse_suite(const Json& doc, const std::string& source) {
           if (sc.system->dma_words > tcdm_words) {
             fail(source, tpath + "/system/dma_words: " +
                              std::to_string(sc.system->dma_words) +
-                             " exceeds the cluster TCDM capacity of " +
-                             std::to_string(tcdm_words) + " words");
+                             " exceeds the TCDM capacity of cluster config \"" +
+                             sc.config.name + "\" (" +
+                             std::to_string(sc.config.num_banks()) + " banks x " +
+                             std::to_string(sc.config.bank_words) + " words = " +
+                             std::to_string(tcdm_words) + " words)");
           }
         }
       } catch (const ScenarioFileError&) {

@@ -1,0 +1,304 @@
+// Sharded System execution (docs/CONCURRENCY.md, S1-S3): ShardExecutor's
+// lowest-index fault attribution and S1 re-entrancy tripwire, bit-identity
+// of sharded System runs against the serial lockstep loop across
+// shard_threads x sim_threads x stepping-mode combinations at N == 4 and
+// N == 8, the P2 fresh-vs-reset identity under shards, serial-equal
+// DeadlockError surfacing from a faulting cluster, and the exclusion of
+// shard_threads from the explore config hash.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cluster/kernel_runner.hpp"
+#include "src/common/shard_executor.hpp"
+#include "src/common/sim_time.hpp"
+#include "src/explore/config_hash.hpp"
+#include "src/kernels/axpy.hpp"
+#include "src/kernels/dotp.hpp"
+#include "src/scenario/scenario_file.hpp"
+#include "src/system/system.hpp"
+#include "src/system/system_runner.hpp"
+#include "tests/support/test_support.hpp"
+
+namespace tcdm {
+namespace {
+
+using test::mp4_config;
+
+SystemConfig small_system(unsigned clusters) {
+  SystemConfig sys;
+  sys.name = "shardsys";
+  sys.num_clusters = clusters;
+  sys.dma_words = 256;
+  sys.dma_burst_len = 16;
+  return sys;
+}
+
+std::vector<std::unique_ptr<Kernel>> axpy_per_cluster(unsigned n) {
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  for (unsigned c = 0; c < n; ++c) {
+    kernels.push_back(std::make_unique<AxpyKernel>(768, 1.25f, 11));
+  }
+  return kernels;
+}
+
+RunnerOptions capped_opts() {
+  RunnerOptions opts;
+  opts.max_cycles = 5'000'000;
+  return opts;
+}
+
+/// Everything a system run can observably produce, for bit-exact diffs.
+struct SystemImage {
+  KernelMetrics metrics;
+  std::vector<std::string> stats_json;  // per cluster, index order
+};
+
+SystemImage run_image(System& system) {
+  SystemImage img;
+  img.metrics =
+      run_system_kernel(system, axpy_per_cluster(system.num_clusters()), capped_opts());
+  for (unsigned c = 0; c < system.num_clusters(); ++c) {
+    img.stats_json.push_back(system.cluster(c).stats().to_json());
+  }
+  return img;
+}
+
+void expect_identical(const SystemImage& a, const SystemImage& b) {
+  EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+  EXPECT_EQ(a.metrics.flops, b.metrics.flops);
+  EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  EXPECT_EQ(a.metrics.noc_bytes, b.metrics.noc_bytes);
+  EXPECT_EQ(a.metrics.bw_bytes_per_cycle, b.metrics.bw_bytes_per_cycle);
+  EXPECT_EQ(a.metrics.verified, b.metrics.verified);
+  EXPECT_EQ(a.metrics.timed_out, b.metrics.timed_out);
+  ASSERT_EQ(a.stats_json.size(), b.stats_json.size());
+  for (std::size_t c = 0; c < a.stats_json.size(); ++c) {
+    EXPECT_EQ(a.stats_json[c], b.stats_json[c]) << "cluster " << c;
+  }
+}
+
+// -------------------------------------------------------- ShardExecutor ----
+
+TEST(ShardExecutor, LowestIndexExceptionSurfaces) {
+  // Faults at indices 2 and 5: the serial ascending-index loop would have
+  // hit index 2 first, so that is the exception the span must rethrow (S3),
+  // regardless of which shard thread finished first.
+  ShardExecutor ex(4);
+  try {
+    ex.run(8, [](unsigned i) {
+      if (i == 2) throw std::runtime_error("shard 2 fault");
+      if (i == 5) throw std::runtime_error("shard 5 fault");
+    });
+    FAIL() << "span with faulting shards returned normally";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 2 fault");
+  }
+  // The fault path must leave the executor reusable: slots cleared, clean
+  // span runs through.
+  unsigned hits = 0;
+  std::vector<char> seen(8, 0);
+  ex.run(8, [&](unsigned i) { seen[i] = 1; });
+  for (const char s : seen) hits += static_cast<unsigned>(s);
+  EXPECT_EQ(hits, 8u);
+  EXPECT_FALSE(ex.in_span());
+}
+
+TEST(ShardExecutor, NestedSpanIsAnS1Violation) {
+  ShardExecutor ex(2);
+  try {
+    ex.run(2, [&](unsigned i) {
+      if (i == 0) ex.run(1, [](unsigned) {});
+    });
+    FAIL() << "nested span was not rejected";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("S1"), std::string::npos) << e.what();
+  }
+  EXPECT_FALSE(ex.in_span());
+}
+
+TEST(ShardExecutor, SingleShardSpansRunInline) {
+  ShardExecutor ex(4);
+  const std::uint64_t before = ex.spans_dispatched();
+  bool ran = false;
+  ex.run(1, [&](unsigned i) { ran = (i == 0); });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(ex.spans_dispatched(), before);  // inline path, no worker epoch
+  ex.run(4, [](unsigned) {});
+  EXPECT_GT(ex.spans_dispatched(), before);
+}
+
+// ------------------------------------------------- resolution & clamping ----
+
+TEST(SystemShardResolution, OptionsOverrideConfigAndClampToClusterCount) {
+  const ClusterConfig cfg = mp4_config(4);
+  SystemConfig sys_cfg = small_system(4);
+  sys_cfg.shard_threads = 4;
+
+  System from_cfg(sys_cfg, cfg, SimOptions{});
+  EXPECT_EQ(from_cfg.shard_threads(), 4u);
+
+  System overridden(sys_cfg, cfg, SimOptions{1, SteppingMode::kEventDriven, 2});
+  EXPECT_EQ(overridden.shard_threads(), 2u);
+
+  System clamped(sys_cfg, cfg, SimOptions{1, SteppingMode::kEventDriven, 16});
+  EXPECT_EQ(clamped.shard_threads(), 4u);  // never more shards than clusters
+
+  System serial(small_system(4), cfg, SimOptions{});
+  EXPECT_EQ(serial.shard_threads(), 1u);
+}
+
+// ---------------------------------------------------------- determinism ----
+
+TEST(SystemShardDeterminism, BitIdenticalToSerialAcrossTheGrid) {
+  const ClusterConfig cfg = mp4_config(4);
+  for (const unsigned n : {4u, 8u}) {
+    const SystemConfig sys_cfg = small_system(n);
+
+    // Cross-mode anchor: serial, cycle-by-cycle.
+    System anchor(sys_cfg, cfg, SimOptions{1, SteppingMode::kCycleByCycle});
+    const SystemImage anchor_img = run_image(anchor);
+    ASSERT_FALSE(anchor_img.metrics.timed_out);
+    ASSERT_TRUE(anchor_img.metrics.verified);
+
+    for (const SteppingMode mode :
+         {SteppingMode::kEventDriven, SteppingMode::kCycleByCycle,
+          SteppingMode::kCrossCheck}) {
+      // Within one mode the FULL image (metrics + every per-cluster stats
+      // document) must be bit-identical at any shard x sim combination;
+      // only the `sim.*` bookkeeping differs across modes (EV1-EV3).
+      System ref(sys_cfg, cfg, SimOptions{1, mode, 1});
+      const SystemImage ref_img = run_image(ref);
+      EXPECT_EQ(ref_img.metrics.cycles, anchor_img.metrics.cycles);
+      EXPECT_EQ(ref_img.metrics.noc_bytes, anchor_img.metrics.noc_bytes);
+      EXPECT_EQ(ref_img.metrics.verified, anchor_img.metrics.verified);
+
+      for (const unsigned shards : {2u, 4u}) {
+        for (const unsigned sim_threads : {1u, 4u}) {
+          System sys(sys_cfg, cfg, SimOptions{sim_threads, mode, shards});
+          EXPECT_EQ(sys.shard_threads(), shards);
+          const SystemImage img = run_image(sys);
+          SCOPED_TRACE(std::to_string(n) + " clusters, " +
+                       std::to_string(shards) + " shards, " +
+                       std::to_string(sim_threads) + " sim threads, mode " +
+                       std::to_string(static_cast<int>(mode)));
+          expect_identical(ref_img, img);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- reset ----
+
+TEST(SystemShardReset, FreshAndResetRunsAreBitIdenticalUnderShards) {
+  const ClusterConfig cfg = mp4_config(4);
+  const SystemConfig sys_cfg = small_system(4);
+  const SimOptions sim{1, SteppingMode::kEventDriven, 4};
+
+  System fresh(sys_cfg, cfg, sim);
+  const SystemImage ref = run_image(fresh);
+  ASSERT_FALSE(ref.metrics.timed_out);
+
+  // Dirty with a different kernel shape, then reset and re-run (P2).
+  System reused(sys_cfg, cfg, sim);
+  std::vector<std::unique_ptr<Kernel>> dirt;
+  for (unsigned c = 0; c < 4; ++c) dirt.push_back(std::make_unique<DotpKernel>(512));
+  (void)run_system_kernel(reused, dirt, capped_opts());
+  reused.reset();
+  const SystemImage got = run_image(reused);
+  expect_identical(ref, got);
+}
+
+// ---------------------------------------------------------------- faults ----
+
+TEST(SystemShardFaults, DeadlockSurfacesTheSameErrorAsTheSerialLoop) {
+  // Clusters 1 and 3 deadlock at a mismatched barrier (hart 0 halts, the
+  // rest wait forever); clusters 0 and 2 halt immediately. The serial
+  // ascending-index loop surfaces cluster 1's DeadlockError; the sharded
+  // run must surface the byte-identical message (S3).
+  const ClusterConfig cfg = mp4_config(4);
+  const auto program_system = [&](System& system) {
+    system.set_watchdog_window(2000);
+    for (unsigned c = 0; c < system.num_clusters(); ++c) {
+      std::vector<Program> programs;
+      for (unsigned h = 0; h < cfg.num_cores(); ++h) {
+        if ((c % 2 == 1) && h > 0) {
+          ProgramBuilder w("wait");
+          w.barrier();
+          w.halt();
+          programs.push_back(w.build());
+        } else {
+          ProgramBuilder done("done");
+          done.halt();
+          programs.push_back(done.build());
+        }
+      }
+      system.cluster(c).load_programs(std::move(programs));
+    }
+  };
+
+  std::string serial_what;
+  {
+    System system(small_system(4), cfg, SimOptions{});
+    program_system(system);
+    try {
+      (void)system.run(1'000'000);
+      FAIL() << "serial deadlock run returned normally";
+    } catch (const DeadlockError& e) {
+      serial_what = e.what();
+    }
+  }
+  ASSERT_FALSE(serial_what.empty());
+
+  System system(small_system(4), cfg, SimOptions{1, SteppingMode::kEventDriven, 4});
+  program_system(system);
+  try {
+    (void)system.run(1'000'000);
+    FAIL() << "sharded deadlock run returned normally";
+  } catch (const DeadlockError& e) {
+    EXPECT_EQ(std::string(e.what()), serial_what);
+  }
+}
+
+// ------------------------------------------------------------- hashing ----
+
+TEST(SystemShardConfig, ShardThreadsIsOmittedAtDefaultAndRoundTrips) {
+  SystemConfig cfg = small_system(4);
+  // Default (1 = serial) stays out of the document, so every pre-shard
+  // suite file, config hash and memo key keeps its exact bytes.
+  EXPECT_EQ(cfg.to_json().dump().find("shard_threads"), std::string::npos);
+  cfg.shard_threads = 8;
+  const Json j = cfg.to_json();
+  EXPECT_NE(j.dump().find("shard_threads"), std::string::npos);
+  const SystemConfig back = SystemConfig::from_json(j);
+  EXPECT_EQ(back.shard_threads, 8u);
+}
+
+TEST(SystemShardConfig, ShardThreadsDoesNotAffectTheExploreKey) {
+  scenario::FileScenario a;
+  a.rel = "a";
+  a.config = ClusterConfig::by_name("mp4spatz4");
+  a.kernel = scenario::KernelSpec::from_json([] {
+    Json k;
+    k.set("kind", "axpy");
+    k.set("n", 512);
+    return k;
+  }());
+  a.system = small_system(4);
+
+  scenario::FileScenario b = a;
+  a.opts.sim.shard_threads = 1;
+  a.system->shard_threads = 1;
+  b.opts.sim.shard_threads = 8;   // host knobs, bit-identical results
+  b.system->shard_threads = 8;
+  EXPECT_EQ(explore::canonical_key(a), explore::canonical_key(b));
+  EXPECT_EQ(explore::canonical_point_json(a).dump(),
+            explore::canonical_point_json(b).dump());
+}
+
+}  // namespace
+}  // namespace tcdm

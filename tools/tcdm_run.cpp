@@ -70,27 +70,35 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s list [--file F]... [glob...]\n"
-      "       %s run [-j N] [--sim-threads N] [--stepping M] [--file F]...\n"
-      "            [--no-builtin] [glob...]\n"
-      "       %s emit [-j N] [--sim-threads N] [--stepping M] [--file F]...\n"
-      "            [--no-builtin] --out <dir> (--all | suite|glob...)\n"
-      "       %s bench [--reps N] [-j N] [--sim-threads N] [--stepping M]\n"
-      "            [--file F]... [--no-builtin] [--out F] [--metrics-out D]\n"
-      "            (--all | suite|glob...)\n"
+      "       %s run [-j N] [--sim-threads N] [--shard-threads N] [--stepping M]\n"
+      "            [--file F]... [--no-builtin] [glob...]\n"
+      "       %s emit [-j N] [--sim-threads N] [--shard-threads N] [--stepping M]\n"
+      "            [--file F]... [--no-builtin] --out <dir> (--all | suite|glob...)\n"
+      "       %s bench [--reps N] [-j N] [--sim-threads N] [--shard-threads N]\n"
+      "            [--stepping M] [--file F]... [--no-builtin] [--out F]\n"
+      "            [--metrics-out D] (--all | suite|glob...)\n"
       "       %s validate [file...|-]\n"
       "       %s gen [--seed N] [--count K] [--out <file>]\n"
-      "       %s explore [-j N] [--sim-threads N] [--stepping M] [--objective NAME]\n"
-      "            [--area-cap MGE] [--budget N] [--cache F] [--state F]\n"
-      "            [--resume] [--no-prune] [--report F] [--stats-out F]\n"
+      "       %s explore [-j N] [--sim-threads N] [--shard-threads N] [--stepping M]\n"
+      "            [--objective NAME] [--area-cap MGE] [--budget N] [--cache F]\n"
+      "            [--state F] [--resume] [--no-prune] [--report F] [--stats-out F]\n"
       "            [--fail-after N] <suite.json>\n"
       "\n"
       "  --stepping M   time advance per cluster: event (skip quiet spans,\n"
       "                 default), cycle (reference loop), check (skip decisions\n"
       "                 verified cycle-by-cycle). All modes are bit-identical.\n"
+      "  --shard-threads N   system scenarios only: step the N clusters of a\n"
+      "                 \"system\" block on N shard threads between global sync\n"
+      "                 points (0 = hardware concurrency; the --sim-threads\n"
+      "                 tile budget is split across the shards). Bit-identical\n"
+      "                 to serial at any value.\n"
       "\n"
       "  Scenarios may scale out with a \"system\" block (N clusters over a\n"
       "  modeled L2/NoC with inter-cluster DMA bursts); its barrier_kind is\n"
-      "  one of: central, tree, butterfly. `gen` emits such points too.\n",
+      "  one of: central, tree, butterfly, and its dma_words must fit the\n"
+      "  cluster TCDM (banks x bank_words — `validate` names the offending\n"
+      "  cluster config and the resolved capacity). `gen` emits such points\n"
+      "  too.\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -100,6 +108,7 @@ int usage(const char* argv0) {
 struct CommonOptions {
   unsigned jobs = 1;
   unsigned sim_threads = 0;
+  unsigned shard_threads = 0;  // 0 = per-spec (system scenarios only)
   std::optional<SteppingMode> stepping;  // unset = per-spec (event-driven)
   std::vector<std::string> files;
   bool no_builtin = false;
@@ -140,6 +149,13 @@ bool parse_common(std::vector<std::string>& args, CommonOptions& opts) {
     } else if (args[i].rfind("--sim-threads=", 0) == 0) {
       value = args[i].substr(14);
       out = &opts.sim_threads;
+    } else if (args[i] == "--shard-threads") {
+      if (i + 1 >= args.size()) return false;
+      value = args[++i];
+      out = &opts.shard_threads;
+    } else if (args[i].rfind("--shard-threads=", 0) == 0) {
+      value = args[i].substr(16);
+      out = &opts.shard_threads;
     } else if (args[i] == "--stepping") {
       if (i + 1 >= args.size() || !parse_stepping(args[i + 1], opts.stepping)) return false;
       ++i;
@@ -167,9 +183,13 @@ bool parse_common(std::vector<std::string>& args, CommonOptions& opts) {
       return false;
     }
     // SweepOptions uses 0 for "keep each spec's setting", so an explicit
-    // `--sim-threads 0` resolves to the hardware concurrency here.
+    // `--sim-threads 0` / `--shard-threads 0` resolves to the hardware
+    // concurrency here.
     if (out == &opts.sim_threads && opts.sim_threads == 0) {
       opts.sim_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    if (out == &opts.shard_threads && opts.shard_threads == 0) {
+      opts.shard_threads = std::max(1u, std::thread::hardware_concurrency());
     }
   }
   args = std::move(rest);
@@ -287,6 +307,7 @@ int cmd_run(const char* argv0, std::vector<std::string> args) {
   SweepOptions opts;
   opts.jobs = copts.jobs;
   opts.sim_threads = copts.sim_threads;
+  opts.shard_threads = copts.shard_threads;
   opts.stepping = copts.stepping;
   unsigned done = 0;
   opts.on_done = [&](const ScenarioResult& r) {
@@ -369,6 +390,7 @@ int cmd_emit(const char* argv0, std::vector<std::string> args) {
   opts.out_dir = out_dir;
   opts.jobs = copts.jobs;
   opts.sim_threads = copts.sim_threads;
+  opts.shard_threads = copts.shard_threads;
   opts.stepping = copts.stepping;
   opts.log = &std::cerr;
   try {
@@ -484,6 +506,7 @@ int cmd_bench(const char* argv0, std::vector<std::string> args) {
   SweepOptions sopts;
   sopts.jobs = copts.jobs;
   sopts.sim_threads = copts.sim_threads;
+  sopts.shard_threads = copts.shard_threads;
   sopts.stepping = copts.stepping;
   using BenchClock = std::chrono::steady_clock;
   // Repetitions interleave across suites so host drift (thermal, noisy
@@ -574,6 +597,7 @@ int cmd_bench(const char* argv0, std::vector<std::string> args) {
     doc.set("reps", reps);
     doc.set("jobs", copts.jobs);
     doc.set("sim_threads", copts.sim_threads);
+    doc.set("shard_threads", copts.shard_threads);
     doc.set("stepping", stepping_name(copts.stepping));
     Json host;
     host.set("hardware_concurrency", std::thread::hardware_concurrency());
@@ -611,6 +635,7 @@ int cmd_bench(const char* argv0, std::vector<std::string> args) {
     eopts.out_dir = metrics_dir;
     eopts.jobs = copts.jobs;
     eopts.sim_threads = copts.sim_threads;
+    eopts.shard_threads = copts.shard_threads;
     eopts.stepping = copts.stepping;
     eopts.log = &std::cerr;
     try {
@@ -743,6 +768,7 @@ int cmd_explore(const char* argv0, std::vector<std::string> args) {
   explore::ExploreOptions eopts;
   eopts.jobs = copts.jobs;
   eopts.sim_threads = copts.sim_threads;
+  eopts.shard_threads = copts.shard_threads;
   eopts.stepping = copts.stepping;
   eopts.log = &std::cerr;
   std::string report_path;
